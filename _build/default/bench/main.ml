@@ -1,0 +1,607 @@
+(* Experiment harness: regenerates the paper's "tables" (its theorem
+   bounds) as measured numbers.  See EXPERIMENTS.md for the paper-vs-
+   measured record of every experiment.
+
+   Usage:
+     dune exec bench/main.exe            all experiments + timings
+     dune exec bench/main.exe e1 .. e11  a single experiment
+     dune exec bench/main.exe timing     bechamel wall-clock benches *)
+
+open Dipp
+
+let line = String.make 78 '-'
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let ceil_log2 n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  max 1 (go 1)
+
+let acceptance_rate runs =
+  let total = List.length runs in
+  let acc = List.length (List.filter Fun.id runs) in
+  float_of_int acc /. float_of_int total
+
+let rejection_rate runs = 1.0 -. acceptance_rate runs
+
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1  LR-sorting: proof size scaling (Lemma 4.1 vs trivial 1-round PLS)";
+  Printf.printf "%8s %8s %10s %12s %12s %10s\n" "n" "log2 n" "loglog n" "DIP bits" "PLS bits" "rounds";
+  List.iter
+    (fun n ->
+      let path, arcs = Gen.lr_yes ~n 42 in
+      let inst = { Lr_sorting.n; path; arcs } in
+      let r = Lr_sorting.run ~seed:1 ~prover:Lr_sorting.Honest inst in
+      let pls = Pls_lr_sorting.run inst in
+      assert r.Lr_sorting.verdict.Dip.accepted;
+      assert pls.Pls_lr_sorting.verdict.Dip.accepted;
+      Printf.printf "%8d %8d %10.2f %12d %12d %10d\n" n (ceil_log2 n)
+        (log (float_of_int (ceil_log2 n)) /. log 2.)
+        r.Lr_sorting.stats.Dip.proof_size_bits pls.Pls_lr_sorting.stats.Dip.proof_size_bits
+        r.Lr_sorting.stats.Dip.interaction_rounds)
+    [ 256; 1024; 4096; 16384; 65536; 262144 ];
+  print_endline "shape: the DIP column grows like log log n (a few bits per quadrupling);";
+  print_endline "       the PLS column is exactly ceil(log2 n)."
+
+let e2 () =
+  header "E2  LR-sorting: empirical soundness (paper: error 1/polylog n)";
+  Printf.printf "%-18s %8s %4s %8s %10s\n" "adversary" "n" "c" "trials" "rejected";
+  List.iter
+    (fun (name, prover) ->
+      List.iter
+        (fun c ->
+          let n = 300 and trials = 60 in
+          let runs =
+            List.init trials (fun seed ->
+                let path, arcs = Gen.lr_no ~n seed in
+                (Lr_sorting.run ~seed:((seed * 13) + 1) ~c ~prover { Lr_sorting.n; path; arcs })
+                  .Lr_sorting.verdict.Dip.accepted)
+          in
+          Printf.printf "%-18s %8d %4d %8d %9.0f%%\n" name n c trials (100. *. rejection_rate runs))
+        [ 2; 3 ])
+    [
+      ("forge-pairs", Lr_sorting.Forge_pairs);
+      ("shift-positions", Lr_sorting.Shift_positions);
+      ("fake-inner", Lr_sorting.Fake_inner);
+      ("honest-labels", Lr_sorting.Honest);
+    ]
+
+let e3 () =
+  header "E3  Path-outerplanarity (Thm 1.2): size scaling + soundness";
+  Printf.printf "%8s %12s %12s %10s\n" "n" "DIP bits" "PLS bits" "rounds";
+  List.iter
+    (fun n ->
+      let g, w = Gen.path_outerplanar ~n 11 in
+      let r =
+        Path_outerplanarity.run ~seed:2 ~prover:Path_outerplanarity.Honest
+          { Path_outerplanarity.graph = g; witness = Some w }
+      in
+      let pls = Pls_path_outerplanar.run { Pls_path_outerplanar.graph = g; witness = w } in
+      assert r.Path_outerplanarity.verdict.Dip.accepted;
+      Printf.printf "%8d %12d %12d %10d\n" n r.Path_outerplanarity.stats.Dip.proof_size_bits
+        pls.Pls_path_outerplanar.stats.Dip.proof_size_bits
+        r.Path_outerplanarity.stats.Dip.interaction_rounds)
+    [ 256; 1024; 4096; 16384 ];
+  let trials = 40 in
+  List.iter
+    (fun (name, prover) ->
+      let runs =
+        List.init trials (fun seed ->
+            let g, w = Gen.path_crossing ~n:150 seed in
+            (Path_outerplanarity.run ~seed:((seed * 5) + 2) ~prover
+               { Path_outerplanarity.graph = g; witness = Some w })
+              .Path_outerplanarity.verdict.Dip.accepted)
+      in
+      Printf.printf "soundness vs %-18s: %3.0f%% rejected (%d trials)\n" name
+        (100. *. rejection_rate runs) trials)
+    [
+      ("crossing-sweep", Path_outerplanarity.Crossing_sweep);
+      ("flip-orientation", Path_outerplanarity.Flip_orientation);
+      ("fake-path", Path_outerplanarity.Fake_path);
+    ]
+
+let e4 () =
+  header "E4  Outerplanarity (Thm 1.3): block-cut composition";
+  Printf.printf "%8s %8s %12s %10s\n" "blocks" "n" "proof bits" "rounds";
+  List.iter
+    (fun blocks ->
+      let g = Gen.outerplanar ~blocks 3 in
+      let r = Outerplanarity.run ~seed:1 ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+      assert r.Outerplanarity.verdict.Dip.accepted;
+      Printf.printf "%8d %8d %12d %10d\n" blocks (Graph.n g)
+        r.Outerplanarity.stats.Dip.proof_size_bits r.Outerplanarity.stats.Dip.interaction_rounds)
+    [ 4; 16; 64; 256 ];
+  let trials = 30 in
+  let runs =
+    List.init trials (fun seed ->
+        let g = Gen.outerplanar_no ~blocks:4 seed in
+        (Outerplanarity.run ~seed ~prover:Outerplanarity.Component_cheat { Outerplanarity.graph = g })
+          .Outerplanarity.verdict.Dip.accepted)
+  in
+  Printf.printf "soundness vs component-cheat: %3.0f%% rejected (%d trials)\n"
+    (100. *. rejection_rate runs) trials
+
+let e5 () =
+  header "E5  Embedded planarity (Thm 1.4): the h(G,T,rho) reduction";
+  Printf.printf "%8s %8s %12s %10s\n" "n" "m" "proof bits" "rounds";
+  List.iter
+    (fun n ->
+      let g = Gen.planar ~n 5 in
+      let rot = Option.get (Gen.embedding g) in
+      let r =
+        Planar_embedding.run ~seed:1 ~prover:Planar_embedding.Honest { Planar_embedding.graph = g; rot }
+      in
+      assert r.Planar_embedding.verdict.Dip.accepted;
+      Printf.printf "%8d %8d %12d %10d\n" n (Graph.m g) r.Planar_embedding.stats.Dip.proof_size_bits
+        r.Planar_embedding.stats.Dip.interaction_rounds)
+    [ 64; 256; 1024 ];
+  let rejected = ref 0 and total = ref 0 in
+  for seed = 0 to 29 do
+    let g = Gen.planar ~n:80 seed in
+    match Gen.corrupted_embedding g (seed + 1) with
+    | Some rot ->
+        incr total;
+        let r =
+          Planar_embedding.run ~seed ~prover:Planar_embedding.Crossing_sweep
+            { Planar_embedding.graph = g; rot }
+        in
+        if not r.Planar_embedding.verdict.Dip.accepted then incr rejected
+    | None -> ()
+  done;
+  Printf.printf "soundness vs corrupted rotations: %d/%d rejected\n" !rejected !total
+
+let e6 () =
+  header "E6  Planarity (Thm 1.5): O(log log n + log Delta) proof size";
+  Printf.printf "%-24s %8s %8s %12s %10s\n" "family" "n" "Delta" "proof bits" "rho bits";
+  let bits_for x =
+    let rec go w = if 1 lsl w > x then w else go (w + 1) in
+    max 1 (go 1)
+  in
+  let run g name =
+    let r = Planarity.run ~seed:1 ~prover:Planarity.Honest { Planarity.graph = g } in
+    assert r.Planarity.verdict.Dip.accepted;
+    (* the rho part of the round-1 label: forest setup plus one
+       (rho_u, rho_v) pair of width log Delta per forest field *)
+    let el = Edge_labels.create g in
+    let rho_bits =
+      Edge_labels.setup_width el
+      + (Edge_labels.forests el * 2 * bits_for (max 1 (Graph.max_degree g - 1)))
+    in
+    Printf.printf "%-24s %8d %8d %12d %10d\n" name (Graph.n g) (Graph.max_degree g)
+      r.Planarity.stats.Dip.proof_size_bits rho_bits
+  in
+  let wheel n =
+    Graph.create ~n
+      (List.init (n - 1) (fun i -> (0, i + 1))
+      @ List.init (n - 2) (fun i -> (i + 1, i + 2))
+      @ [ (n - 1, 1) ])
+  in
+  run (Gen.planar_bounded_degree ~n:256 1) "grid+diagonals";
+  run (Gen.planar_bounded_degree ~n:1024 1) "grid+diagonals";
+  run (Gen.planar ~n:256 1) "stacked triangulation";
+  run (Gen.planar ~n:1024 1) "stacked triangulation";
+  run (wheel 256) "wheel (Delta = n-1)";
+  run (wheel 1024) "wheel (Delta = n-1)";
+  let trials = 25 in
+  let runs =
+    List.init trials (fun seed ->
+        (Planarity.run ~seed ~prover:Planarity.Best_rotation
+           { Planarity.graph = Gen.nonplanar ~n:60 seed })
+          .Planarity.verdict.Dip.accepted)
+  in
+  Printf.printf "soundness vs best-rotation on spliced K5: %3.0f%% rejected (%d trials)\n"
+    (100. *. rejection_rate runs) trials;
+  print_endline "shape: within a family bits grow like log log n; the rho column grows";
+  print_endline "       like log Delta across families (the additive term of Thm 1.5)."
+
+let e7 () =
+  header "E7  Series-parallel (Thm 1.6)";
+  Printf.printf "%8s %8s %12s %10s\n" "size" "n" "proof bits" "rounds";
+  List.iter
+    (fun size ->
+      let tr, g = Gen.series_parallel ~size 3 in
+      let r =
+        Series_parallel_dip.run ~seed:1 ~prover:Series_parallel_dip.Honest
+          { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+      in
+      assert r.Series_parallel_dip.verdict.Dip.accepted;
+      Printf.printf "%8d %8d %12d %10d\n" size (Graph.n g)
+        r.Series_parallel_dip.stats.Dip.proof_size_bits
+        r.Series_parallel_dip.stats.Dip.interaction_rounds)
+    [ 16; 64; 256; 1024 ];
+  let rejected = ref 0 and total = ref 0 in
+  for seed = 0 to 29 do
+    match Gen.series_parallel_no ~size:40 seed with
+    | Some (g, ears) ->
+        incr total;
+        let r =
+          Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Ear_cheat
+            { Series_parallel_dip.graph = g; ears = Some ears }
+        in
+        if not r.Series_parallel_dip.verdict.Dip.accepted then incr rejected
+    | None -> ()
+  done;
+  Printf.printf "soundness vs ear-cheat: %d/%d rejected\n" !rejected !total
+
+let e8 () =
+  header "E8  Treewidth <= 2 (Thm 1.7)";
+  Printf.printf "%8s %8s %12s %10s\n" "blocks" "n" "proof bits" "rounds";
+  List.iter
+    (fun blocks ->
+      let g = Gen.treewidth2 ~blocks 3 in
+      let r = Treewidth2_dip.run ~seed:1 ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+      assert r.Treewidth2_dip.verdict.Dip.accepted;
+      Printf.printf "%8d %8d %12d %10d\n" blocks (Graph.n g)
+        r.Treewidth2_dip.stats.Dip.proof_size_bits r.Treewidth2_dip.stats.Dip.interaction_rounds)
+    [ 4; 16; 64 ];
+  let rejected = ref 0 and total = ref 0 in
+  for seed = 0 to 19 do
+    match Gen.treewidth2_no ~blocks:4 seed with
+    | Some g ->
+        incr total;
+        let r =
+          Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Component_cheat { Treewidth2_dip.graph = g }
+        in
+        if not r.Treewidth2_dip.verdict.Dip.accepted then incr rejected
+    | None -> ()
+  done;
+  Printf.printf "soundness vs component-cheat: %d/%d rejected\n" !rejected !total
+
+let e9 () =
+  header "E9  One-round lower bound (Thm 1.8): Omega(log n) label bits";
+  Printf.printf "%8s %10s %22s %22s\n" "n" "log2 n" "soundness threshold" "completeness threshold";
+  List.iter
+    (fun n ->
+      Printf.printf "%8d %10d %22d %22d\n" n (ceil_log2 n) (Lower_bound.soundness_threshold ~n)
+        (Lower_bound.completeness_threshold ~n))
+    [ 64; 256; 1024; 4096; 16384; 65536 ];
+  print_endline "soundness: below the threshold the truncated 1-round scheme accepts a";
+  print_endline "  fooling LR no-instance (a backward arc whose labels alias to increasing";
+  print_endline "  residues); completeness: below it the truncated FFM+21-style scheme";
+  print_endline "  rejects an honest long-chord yes-instance.  Both track ceil(log2 n)."
+
+let e10 () =
+  header "E10 Results table (Thms 1.2-1.7): rounds / bits / completeness / soundness";
+  Printf.printf "%-24s %7s %11s %13s %10s\n" "protocol" "rounds" "proof bits" "completeness" "soundness";
+  let trials = 25 in
+  let row name (stats : Dip.stats) comp sound =
+    Printf.printf "%-24s %7d %11d %12.0f%% %9.0f%%\n" name stats.Dip.interaction_rounds
+      stats.Dip.proof_size_bits (100. *. comp) (100. *. sound)
+  in
+  (let n = 300 in
+   let comp =
+     List.init trials (fun s ->
+         let path, arcs = Gen.lr_yes ~n s in
+         (Lr_sorting.run ~seed:s ~prover:Lr_sorting.Honest { Lr_sorting.n; path; arcs })
+           .Lr_sorting.verdict.Dip.accepted)
+   in
+   let sound =
+     List.init trials (fun s ->
+         let path, arcs = Gen.lr_no ~n s in
+         (Lr_sorting.run ~seed:s ~prover:Lr_sorting.Forge_pairs { Lr_sorting.n; path; arcs })
+           .Lr_sorting.verdict.Dip.accepted)
+   in
+   let path, arcs = Gen.lr_yes ~n 0 in
+   let r = Lr_sorting.run ~seed:0 ~prover:Lr_sorting.Honest { Lr_sorting.n; path; arcs } in
+   row "LR-sorting (L4.1)" r.Lr_sorting.stats (acceptance_rate comp) (rejection_rate sound));
+  (let n = 200 in
+   let comp =
+     List.init trials (fun s ->
+         let g, w = Gen.path_outerplanar ~n s in
+         (Path_outerplanarity.run ~seed:s ~prover:Path_outerplanarity.Honest
+            { Path_outerplanarity.graph = g; witness = Some w })
+           .Path_outerplanarity.verdict.Dip.accepted)
+   in
+   let sound =
+     List.init trials (fun s ->
+         let g, w = Gen.path_crossing ~n s in
+         (Path_outerplanarity.run ~seed:s ~prover:Path_outerplanarity.Crossing_sweep
+            { Path_outerplanarity.graph = g; witness = Some w })
+           .Path_outerplanarity.verdict.Dip.accepted)
+   in
+   let g, w = Gen.path_outerplanar ~n 0 in
+   let r =
+     Path_outerplanarity.run ~seed:0 ~prover:Path_outerplanarity.Honest
+       { Path_outerplanarity.graph = g; witness = Some w }
+   in
+   row "path-outerpl. (T1.2)" r.Path_outerplanarity.stats (acceptance_rate comp) (rejection_rate sound));
+  (let comp =
+     List.init trials (fun s ->
+         (Outerplanarity.run ~seed:s ~prover:Outerplanarity.Honest
+            { Outerplanarity.graph = Gen.outerplanar ~blocks:5 s })
+           .Outerplanarity.verdict.Dip.accepted)
+   in
+   let sound =
+     List.init trials (fun s ->
+         (Outerplanarity.run ~seed:s ~prover:Outerplanarity.Component_cheat
+            { Outerplanarity.graph = Gen.outerplanar_no ~blocks:5 s })
+           .Outerplanarity.verdict.Dip.accepted)
+   in
+   let r =
+     Outerplanarity.run ~seed:0 ~prover:Outerplanarity.Honest
+       { Outerplanarity.graph = Gen.outerplanar ~blocks:5 0 }
+   in
+   row "outerplanarity (T1.3)" r.Outerplanarity.stats (acceptance_rate comp) (rejection_rate sound));
+  (let comp =
+     List.init trials (fun s ->
+         let g = Gen.planar ~n:60 s in
+         let rot = Option.get (Gen.embedding g) in
+         (Planar_embedding.run ~seed:s ~prover:Planar_embedding.Honest { Planar_embedding.graph = g; rot })
+           .Planar_embedding.verdict.Dip.accepted)
+   in
+   let sound =
+     List.filter_map
+       (fun s ->
+         let g = Gen.planar ~n:60 s in
+         Option.map
+           (fun rot ->
+             (Planar_embedding.run ~seed:s ~prover:Planar_embedding.Crossing_sweep
+                { Planar_embedding.graph = g; rot })
+               .Planar_embedding.verdict.Dip.accepted)
+           (Gen.corrupted_embedding g (s + 1)))
+       (List.init trials Fun.id)
+   in
+   let g = Gen.planar ~n:60 0 in
+   let r =
+     Planar_embedding.run ~seed:0 ~prover:Planar_embedding.Honest
+       { Planar_embedding.graph = g; rot = Option.get (Gen.embedding g) }
+   in
+   row "planar embed. (T1.4)" r.Planar_embedding.stats (acceptance_rate comp) (rejection_rate sound));
+  (let comp =
+     List.init trials (fun s ->
+         (Planarity.run ~seed:s ~prover:Planarity.Honest { Planarity.graph = Gen.planar ~n:60 s })
+           .Planarity.verdict.Dip.accepted)
+   in
+   let sound =
+     List.init trials (fun s ->
+         (Planarity.run ~seed:s ~prover:Planarity.Best_rotation
+            { Planarity.graph = Gen.nonplanar ~n:60 s })
+           .Planarity.verdict.Dip.accepted)
+   in
+   let r = Planarity.run ~seed:0 ~prover:Planarity.Honest { Planarity.graph = Gen.planar ~n:60 0 } in
+   row "planarity (T1.5)" r.Planarity.stats (acceptance_rate comp) (rejection_rate sound));
+  (let comp =
+     List.init trials (fun s ->
+         let tr, g = Gen.series_parallel ~size:40 s in
+         (Series_parallel_dip.run ~seed:s ~prover:Series_parallel_dip.Honest
+            { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) })
+           .Series_parallel_dip.verdict.Dip.accepted)
+   in
+   let sound =
+     List.filter_map
+       (fun s ->
+         Option.map
+           (fun (g, ears) ->
+             (Series_parallel_dip.run ~seed:s ~prover:Series_parallel_dip.Ear_cheat
+                { Series_parallel_dip.graph = g; ears = Some ears })
+               .Series_parallel_dip.verdict.Dip.accepted)
+           (Gen.series_parallel_no ~size:40 s))
+       (List.init trials Fun.id)
+   in
+   let tr, g = Gen.series_parallel ~size:40 0 in
+   let r =
+     Series_parallel_dip.run ~seed:0 ~prover:Series_parallel_dip.Honest
+       { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+   in
+   row "series-par. (T1.6)" r.Series_parallel_dip.stats (acceptance_rate comp) (rejection_rate sound));
+  (let comp =
+     List.init trials (fun s ->
+         (Treewidth2_dip.run ~seed:s ~prover:Treewidth2_dip.Honest
+            { Treewidth2_dip.graph = Gen.treewidth2 ~blocks:4 s })
+           .Treewidth2_dip.verdict.Dip.accepted)
+   in
+   let sound =
+     List.filter_map
+       (fun s ->
+         Option.map
+           (fun g ->
+             (Treewidth2_dip.run ~seed:s ~prover:Treewidth2_dip.Component_cheat
+                { Treewidth2_dip.graph = g })
+               .Treewidth2_dip.verdict.Dip.accepted)
+           (Gen.treewidth2_no ~blocks:4 s))
+       (List.init trials Fun.id)
+   in
+   let r =
+     Treewidth2_dip.run ~seed:0 ~prover:Treewidth2_dip.Honest
+       { Treewidth2_dip.graph = Gen.treewidth2 ~blocks:4 0 }
+   in
+   row "treewidth<=2 (T1.7)" r.Treewidth2_dip.stats (acceptance_rate comp) (rejection_rate sound));
+  print_endline "paper: 5 rounds, perfect completeness, 1/polylog(n) soundness error,";
+  print_endline "       O(log log n) bits (planarity: + log Delta)."
+
+let e11 () =
+  header "E11 Reduction chart (Figure 2): composed sub-protocol traces";
+  let g = Gen.planar ~n:100 4 in
+  let r = Planarity.run ~seed:9 ~prover:Planarity.Honest { Planarity.graph = g } in
+  let pe = r.Planarity.inner in
+  let po = pe.Planar_embedding.inner in
+  Printf.printf "planarity(T1.5)  n=%d  proof=%db  accepted=%b\n" (Graph.n g)
+    r.Planarity.stats.Dip.proof_size_bits r.Planarity.verdict.Dip.accepted;
+  Printf.printf "  -> planar-embedding(T1.4)  proof=%db\n" pe.Planar_embedding.stats.Dip.proof_size_bits;
+  Printf.printf "     -> path-outerplanarity(T1.2) on h(G,T,rho)  proof=%db\n"
+    po.Path_outerplanarity.stats.Dip.proof_size_bits;
+  (match po.Path_outerplanarity.lr with
+  | Some lr ->
+      Printf.printf "        -> LR-sorting(L4.2)  n_h=%d  proof=%db  blocks=%d\n"
+        lr.Lr_sorting.params.Lr_sorting.Params.n lr.Lr_sorting.stats.Dip.proof_size_bits
+        lr.Lr_sorting.params.Lr_sorting.Params.nblocks
+  | None -> print_endline "        -> (no LR sub-run)");
+  let g = Gen.outerplanar ~blocks:3 2 in
+  let r = Outerplanarity.run ~seed:9 ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Printf.printf "outerplanarity(T1.3)  n=%d  block protocols=%d  accepted=%b\n" (Graph.n g)
+    (List.length r.Outerplanarity.component_results) r.Outerplanarity.verdict.Dip.accepted;
+  let g = Gen.treewidth2 ~blocks:3 2 in
+  let r = Treewidth2_dip.run ~seed:9 ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+  Printf.printf "treewidth<=2(T1.7)  n=%d  SP components=%d  accepted=%b\n" (Graph.n g)
+    (List.length r.Treewidth2_dip.component_results) r.Treewidth2_dip.verdict.Dip.accepted;
+  List.iteri
+    (fun i cr ->
+      Printf.printf "  -> series-parallel(T1.6) #%d: host-ear nesting runs=%d\n" i
+        (List.length cr.Series_parallel_dip.host_results))
+    r.Treewidth2_dip.component_results
+
+(* ------------------------------------------------------------------ *)
+(* bechamel wall-clock benches                                          *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  header "Timing (bechamel, monotonic clock, ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let lr_inst =
+    let path, arcs = Gen.lr_yes ~n:1024 7 in
+    { Lr_sorting.n = 1024; path; arcs }
+  in
+  let po_inst =
+    let g, w = Gen.path_outerplanar ~n:512 7 in
+    { Path_outerplanarity.graph = g; witness = Some w }
+  in
+  let pe_inst =
+    let g = Gen.planar ~n:200 7 in
+    { Planar_embedding.graph = g; rot = Option.get (Gen.embedding g) }
+  in
+  let op_graph = Gen.outerplanar ~blocks:8 7 in
+  let sp_inst =
+    let tr, g = Gen.series_parallel ~size:100 7 in
+    { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+  in
+  let pl_graph = Gen.planar ~n:200 7 in
+  let tests =
+    Test.make_grouped ~name:"dipp" ~fmt:"%s %s"
+      [
+        Test.make ~name:"lr-sorting/1024"
+          (Staged.stage (fun () -> ignore (Lr_sorting.run ~seed:1 ~prover:Lr_sorting.Honest lr_inst)));
+        Test.make ~name:"path-outerplanarity/512"
+          (Staged.stage (fun () ->
+               ignore (Path_outerplanarity.run ~seed:1 ~prover:Path_outerplanarity.Honest po_inst)));
+        Test.make ~name:"planar-embedding/200"
+          (Staged.stage (fun () ->
+               ignore (Planar_embedding.run ~seed:1 ~prover:Planar_embedding.Honest pe_inst)));
+        Test.make ~name:"planarity/200"
+          (Staged.stage (fun () ->
+               ignore (Planarity.run ~seed:1 ~prover:Planarity.Honest { Planarity.graph = pl_graph })));
+        Test.make ~name:"outerplanarity/8-blocks"
+          (Staged.stage (fun () ->
+               ignore
+                 (Outerplanarity.run ~seed:1 ~prover:Outerplanarity.Honest
+                    { Outerplanarity.graph = op_graph })));
+        Test.make ~name:"series-parallel/100"
+          (Staged.stage (fun () ->
+               ignore (Series_parallel_dip.run ~seed:1 ~prover:Series_parallel_dip.Honest sp_inst)));
+        Test.make ~name:"dmp-embed/200" (Staged.stage (fun () -> ignore (Planar_test.embed pl_graph)));
+      ]
+  in
+  let benchmark () =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-36s %12.0f ns/run  (%8.2f ms)\n" name est (est /. 1e6)
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Open questions (paper, end of section 1)                             *)
+(* ------------------------------------------------------------------ *)
+
+let open_questions () =
+  header "OQ  Open questions: per-round communication breakdown";
+  print_endline "Open Question 3 asks whether o(log log n) bits per node are possible;";
+  print_endline "the per-phase maxima below show where our labels spend their bits:";
+  Printf.printf "%8s | %s\n" "n" "per-phase max label bits (P = prover, V = verifier coins)";
+  List.iter
+    (fun n ->
+      let path, arcs = Gen.lr_yes ~n 42 in
+      let r = Lr_sorting.run ~seed:1 ~prover:Lr_sorting.Honest { Lr_sorting.n; path; arcs } in
+      let cells =
+        List.map
+          (fun (ph, bits) ->
+            Printf.sprintf "%s%d" (match ph with Dip.Prover_phase -> "P" | Dip.Verifier_phase -> "V") bits)
+          r.Lr_sorting.stats.Dip.per_phase
+      in
+      Printf.printf "%8d | %s\n" n (String.concat "  " cells))
+    [ 1024; 16384; 262144 ];
+  print_endline "";
+  print_endline "Open Question 1 (is the +log Delta term needed for planarity?): see the";
+  print_endline "rho-bits column of E6 — exactly the term in question.";
+  print_endline "Open Question 2 (rounds 2..4): the protocols here are locked to the";
+  print_endline "5-round schedule P-V-P-V-P; every phase carries live content (above),";
+  print_endline "so collapsing rounds would need a different commitment structure."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                    *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "A1  Ablation: soundness constant c (field sizes ~ (log n)^c)";
+  Printf.printf "%4s %12s %12s %14s\n" "c" "proof bits" "field p" "escapes/60";
+  List.iter
+    (fun c ->
+      let n = 300 in
+      let path, arcs = Gen.lr_yes ~n 42 in
+      let r = Lr_sorting.run ~seed:1 ~c ~prover:Lr_sorting.Honest { Lr_sorting.n; path; arcs } in
+      let escapes = ref 0 in
+      for seed = 0 to 59 do
+        let path, arcs = Gen.lr_no ~n seed in
+        let rr = Lr_sorting.run ~seed:((seed * 13) + 1) ~c ~prover:Lr_sorting.Shift_positions { Lr_sorting.n; path; arcs } in
+        if rr.Lr_sorting.verdict.Dip.accepted then incr escapes
+      done;
+      Printf.printf "%4d %12d %12d %14d\n" c r.Lr_sorting.stats.Dip.proof_size_bits
+        r.Lr_sorting.params.Lr_sorting.Params.p.Fp.p !escapes)
+    [ 1; 2; 3; 4; 5 ];
+  print_endline "larger c: wider fields (more bits), smaller soundness error.";
+
+  header "A2  Ablation: block size B (paper: B = ceil(log n))";
+  Printf.printf "%10s %10s %12s %10s\n" "block" "nblocks" "proof bits" "accepted";
+  let n = 4096 in
+  let path, arcs = Gen.lr_yes ~n 42 in
+  let inst = { Lr_sorting.n; path; arcs } in
+  let logn = ceil_log2 n in
+  List.iter
+    (fun block ->
+      let r = Lr_sorting.run ~seed:1 ~c:2 ~block ~prover:Lr_sorting.Honest inst in
+      Printf.printf "%10d %10d %12d %10b\n" block r.Lr_sorting.params.Lr_sorting.Params.nblocks
+        r.Lr_sorting.stats.Dip.proof_size_bits r.Lr_sorting.verdict.Dip.accepted)
+    [ logn; 2 * logn; 64; logn * logn ];
+  print_endline "indices inside a block cost log(B) bits: B = log n is the sweet spot";
+  print_endline "(B below log n cannot hold the position bits at all).";
+
+  header "A3  Ablation: spanning-tree verification repetitions (Lemma 2.5)";
+  Printf.printf "%6s %14s %16s\n" "reps" "label bits/rep" "escapes/100";
+  List.iter
+    (fun reps ->
+      let escapes = ref 0 in
+      for seed = 0 to 99 do
+        let g = Graph.path_graph 40 in
+        let parent = Array.init 40 (fun v -> if v = 0 || v = 20 then -1 else v - 1) in
+        let verdict, _ = Spanning_tree_verify.run ~seed ~reps g ~parent in
+        if verdict.Dip.accepted then incr escapes
+      done;
+      Printf.printf "%6d %14d %16d\n" reps 8 !escapes)
+    [ 1; 2; 4; 8 ];
+  print_endline "constant error per repetition, driven down exponentially (the paper's";
+  print_endline "parallel-repetition black box); the protocols use Theta(log log n) reps."
+
+let all =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as picks) ->
+      List.iter
+        (fun p ->
+          match List.assoc_opt (String.lowercase_ascii p) all with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown experiment %s (expected e1..e11 or timing)\n" p)
+        picks
+  | _ -> List.iter (fun (_, f) -> f ()) all

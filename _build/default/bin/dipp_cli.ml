@@ -1,0 +1,265 @@
+(* The `dipp` command-line tool: generate instances, run recognitions, and
+   execute the interactive proofs on graphs from files or generators.
+
+     dipp gen --family outerplanar --size 5 --seed 3 -o net.txt
+     dipp check net.txt --property outerplanar
+     dipp prove net.txt --property planarity
+     dipp certify --family planar --size 100 --cheat
+     dipp dot net.txt
+     dipp lower-bound -n 1024 *)
+
+open Dipp
+open Cmdliner
+
+(* ---- shared args ------------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Generator / protocol seed.")
+
+let size_arg =
+  Arg.(value & opt int 64 & info [ "n"; "size" ] ~docv:"N" ~doc:"Instance size parameter.")
+
+let family_arg =
+  let families =
+    [
+      ("path-outerplanar", `Path_outerplanar);
+      ("outerplanar", `Outerplanar);
+      ("planar", `Planar);
+      ("series-parallel", `Sp);
+      ("treewidth2", `Tw2);
+      ("nonplanar", `Nonplanar);
+      ("crossing", `Crossing);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum families) `Outerplanar
+    & info [ "f"; "family" ] ~docv:"FAMILY"
+        ~doc:"Instance family: path-outerplanar, outerplanar, planar, series-parallel, treewidth2, nonplanar, crossing.")
+
+let property_arg =
+  let props =
+    [
+      ("path-outerplanar", `Path_outerplanar);
+      ("outerplanar", `Outerplanar);
+      ("planar", `Planar);
+      ("series-parallel", `Sp);
+      ("treewidth2", `Tw2);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum props) `Planar
+    & info [ "p"; "property" ] ~docv:"PROP"
+        ~doc:"Graph property: path-outerplanar, outerplanar, planar, series-parallel, treewidth2.")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Edge-list file.")
+
+let gen_graph family ~n ~seed =
+  match family with
+  | `Path_outerplanar -> fst (Gen.path_outerplanar ~n:(max 4 n) seed)
+  | `Outerplanar -> Gen.outerplanar ~blocks:(max 1 (n / 8)) seed
+  | `Planar -> Gen.planar ~n:(max 4 n) seed
+  | `Sp -> snd (Gen.series_parallel ~size:(max 4 n) seed)
+  | `Tw2 -> Gen.treewidth2 ~blocks:(max 1 (n / 8)) seed
+  | `Nonplanar -> Gen.nonplanar ~n:(max 25 n) seed
+  | `Crossing -> fst (Gen.path_crossing ~n:(max 10 n) seed)
+
+(* ---- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE (stdout otherwise).")
+  in
+  let run family n seed out =
+    let g = gen_graph family ~n ~seed in
+    let text = Graph_io.to_edge_list g in
+    (match out with Some path -> Graph_io.write_file path g | None -> print_string text);
+    Printf.eprintf "generated: n=%d m=%d\n" (Graph.n g) (Graph.m g)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a yes/no instance and print its edge list.")
+    Term.(const run $ family_arg $ size_arg $ seed_arg $ out_arg)
+
+(* ---- check (centralized recognition) ------------------------------------- *)
+
+let check_cmd =
+  let run file prop =
+    let g = Graph_io.read_file file in
+    let answer, witness_note =
+      match prop with
+      | `Path_outerplanar -> (
+          match Outerplanar.path_witness g with
+          | Some w when Outerplanar.check_path_witness g w ->
+              (true, Printf.sprintf "witness path: %s" (String.concat " " (List.map string_of_int w)))
+          | _ -> (false, "no nesting Hamiltonian path found"))
+      | `Outerplanar -> (Outerplanar.is_outerplanar g, "")
+      | `Planar -> (
+          match Planar_test.embed g with
+          | Some rot -> (true, Printf.sprintf "embedding with %d faces" (Rotation.face_count rot))
+          | None -> (false, "no planar embedding exists"))
+      | `Sp -> (
+          match Series_parallel.decompose g with
+          | Some t ->
+              let s, e = Series_parallel.terminals t in
+              (true, Printf.sprintf "series-parallel with terminals (%d, %d)" s e)
+          | None -> (false, ""))
+      | `Tw2 -> (Series_parallel.is_treewidth_le_2 g, "")
+    in
+    Printf.printf "n=%d m=%d: %s%s\n" (Graph.n g) (Graph.m g)
+      (if answer then "YES" else "NO")
+      (if witness_note = "" then "" else "  (" ^ witness_note ^ ")");
+    if not answer then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Centralized recognition of a graph property (ground truth).")
+    Term.(const run $ file_arg $ property_arg)
+
+(* ---- prove (run the DIP) --------------------------------------------------- *)
+
+let report name (verdict : Dip.verdict) (stats : Dip.stats) =
+  Printf.printf "%s: %s\n" name (if verdict.Dip.accepted then "ACCEPT" else "REJECT");
+  Format.printf "  %a@." Dip.pp_stats stats;
+  if not verdict.Dip.accepted then begin
+    Printf.printf "  rejecting nodes: %s\n"
+      (String.concat ", " (List.map string_of_int (List.filteri (fun i _ -> i < 16) verdict.Dip.rejecting)));
+    exit 1
+  end
+
+let prove_cmd =
+  let run file prop seed =
+    let g = Graph_io.read_file file in
+    match prop with
+    | `Path_outerplanar ->
+        let r =
+          Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Honest
+            { Path_outerplanarity.graph = g; witness = None }
+        in
+        report "path-outerplanarity DIP (Thm 1.2)" r.Path_outerplanarity.verdict r.Path_outerplanarity.stats
+    | `Outerplanar ->
+        let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+        report "outerplanarity DIP (Thm 1.3)" r.Outerplanarity.verdict r.Outerplanarity.stats
+    | `Planar ->
+        let r = Planarity.run ~seed ~prover:Planarity.Honest { Planarity.graph = g } in
+        report "planarity DIP (Thm 1.5)" r.Planarity.verdict r.Planarity.stats
+    | `Sp ->
+        let r =
+          Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+            { Series_parallel_dip.graph = g; ears = None }
+        in
+        report "series-parallel DIP (Thm 1.6)" r.Series_parallel_dip.verdict r.Series_parallel_dip.stats
+    | `Tw2 ->
+        let r = Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+        report "treewidth<=2 DIP (Thm 1.7)" r.Treewidth2_dip.verdict r.Treewidth2_dip.stats
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Run the 5-round interactive proof on a graph from a file.")
+    Term.(const run $ file_arg $ property_arg $ seed_arg)
+
+(* ---- certify (generate + prove, optional cheat) ----------------------------- *)
+
+let certify_cmd =
+  let cheat_arg = Arg.(value & flag & info [ "cheat" ] ~doc:"Use a no-instance with a cheating prover.") in
+  let run family n seed cheat =
+    if not cheat then begin
+      let g = gen_graph family ~n ~seed in
+      match family with
+      | `Planar | `Nonplanar ->
+          let r = Planarity.run ~seed ~prover:Planarity.Honest { Planarity.graph = g } in
+          report "planarity DIP" r.Planarity.verdict r.Planarity.stats
+      | `Path_outerplanar | `Crossing ->
+          let r =
+            Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Honest
+              { Path_outerplanarity.graph = g; witness = None }
+          in
+          report "path-outerplanarity DIP" r.Path_outerplanarity.verdict r.Path_outerplanarity.stats
+      | `Outerplanar ->
+          let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+          report "outerplanarity DIP" r.Outerplanarity.verdict r.Outerplanarity.stats
+      | `Sp ->
+          let r =
+            Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+              { Series_parallel_dip.graph = g; ears = None }
+          in
+          report "series-parallel DIP" r.Series_parallel_dip.verdict r.Series_parallel_dip.stats
+      | `Tw2 ->
+          let r = Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+          report "treewidth<=2 DIP" r.Treewidth2_dip.verdict r.Treewidth2_dip.stats
+    end
+    else begin
+      (* no-instance + the matching adversary; a REJECT is the expected
+         (successful) outcome, so exit 0 on rejection *)
+      match family with
+      | `Planar | `Nonplanar ->
+          let g = Gen.nonplanar ~n:(max 25 n) seed in
+          let r = Planarity.run ~seed ~prover:Planarity.Best_rotation { Planarity.graph = g } in
+          Printf.printf "cheating prover on non-planar graph: %s\n"
+            (if r.Planarity.verdict.Dip.accepted then "ACCEPTED (soundness error!)" else "rejected")
+      | `Path_outerplanar | `Crossing ->
+          let g, w = Gen.path_crossing ~n:(max 10 n) seed in
+          let r =
+            Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Crossing_sweep
+              { Path_outerplanarity.graph = g; witness = Some w }
+          in
+          Printf.printf "cheating prover on crossing instance: %s\n"
+            (if r.Path_outerplanarity.verdict.Dip.accepted then "ACCEPTED (soundness error!)" else "rejected")
+      | `Outerplanar ->
+          let g = Gen.outerplanar_no ~blocks:(max 1 (n / 8)) seed in
+          let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Component_cheat { Outerplanarity.graph = g } in
+          Printf.printf "cheating prover on non-outerplanar graph: %s\n"
+            (if r.Outerplanarity.verdict.Dip.accepted then "ACCEPTED (soundness error!)" else "rejected")
+      | `Sp -> (
+          match Gen.series_parallel_no ~size:(max 10 n) seed with
+          | Some (g, ears) ->
+              let r =
+                Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Ear_cheat
+                  { Series_parallel_dip.graph = g; ears = Some ears }
+              in
+              Printf.printf "cheating prover on non-SP graph: %s\n"
+                (if r.Series_parallel_dip.verdict.Dip.accepted then "ACCEPTED (soundness error!)" else "rejected")
+          | None -> print_endline "could not build a no-instance at this size")
+      | `Tw2 -> (
+          match Gen.treewidth2_no ~blocks:(max 1 (n / 8)) seed with
+          | Some g ->
+              let r =
+                Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Component_cheat { Treewidth2_dip.graph = g }
+              in
+              Printf.printf "cheating prover on treewidth-3 graph: %s\n"
+                (if r.Treewidth2_dip.verdict.Dip.accepted then "ACCEPTED (soundness error!)" else "rejected")
+          | None -> print_endline "could not build a no-instance at this size")
+    end
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Generate an instance and run the interactive proof on it.")
+    Term.(const run $ family_arg $ size_arg $ seed_arg $ cheat_arg)
+
+(* ---- dot --------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run file =
+    let g = Graph_io.read_file file in
+    print_string (Graph_io.to_dot g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Print a DOT rendering of an edge-list file.") Term.(const run $ file_arg)
+
+(* ---- lower-bound --------------------------------------------------------------- *)
+
+let lb_cmd =
+  let run n =
+    Printf.printf "n = %d (log2 = %d)\n" n
+      (let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+       go 1);
+    Printf.printf "1-round soundness threshold:    %d bits\n" (Lower_bound.soundness_threshold ~n);
+    Printf.printf "1-round completeness threshold: %d bits\n" (Lower_bound.completeness_threshold ~n);
+    let path, arcs = Gen.lr_yes ~n 1 in
+    let r = Lr_sorting.run ~seed:1 ~prover:Lr_sorting.Honest { Lr_sorting.n; path; arcs } in
+    Printf.printf "5-round DIP proof size:         %d bits (O(log log n))\n"
+      r.Lr_sorting.stats.Dip.proof_size_bits
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Measure the Theorem 1.8 one-round thresholds at a given size.")
+    Term.(const run $ size_arg)
+
+let () =
+  let info = Cmd.info "dipp" ~version:"1.0.0" ~doc:"Distributed interactive proofs for planarity (Gil-Parter, PODC 2025)." in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd ]))

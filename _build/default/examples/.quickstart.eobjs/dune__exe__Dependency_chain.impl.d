@@ -1,0 +1,1 @@
+examples/dependency_chain.ml: Array Dip Dipp Fun Gen List Lr_sorting Pls_lr_sorting Printf

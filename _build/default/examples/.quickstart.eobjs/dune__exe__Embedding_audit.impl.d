@@ -1,0 +1,1 @@
+examples/embedding_audit.ml: Dip Dipp Gen Graph List Option Planar_embedding Printf Rotation String

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Dip Dipp Format Gen Graph Graph_io List Lower_bound Lr_sorting Printf

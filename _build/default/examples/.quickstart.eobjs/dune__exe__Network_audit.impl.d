@@ -1,0 +1,1 @@
+examples/network_audit.ml: Dip Dipp Gen Graph Planarity Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dip Dipp Format Graph List Outerplanar Outerplanarity Printf String

@@ -1,0 +1,1 @@
+examples/transcript_demo.ml: Array Dip Dipp Format Fun List Lr_sorting Printf String

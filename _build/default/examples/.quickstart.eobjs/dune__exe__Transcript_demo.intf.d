@@ -1,0 +1,1 @@
+examples/transcript_demo.mli:

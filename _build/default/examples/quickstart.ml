@@ -1,0 +1,35 @@
+(* Quickstart: certify that a small graph is outerplanar with the 5-round
+   O(log log n)-bit protocol of Theorem 1.3.
+
+     dune exec examples/quickstart.exe *)
+
+open Dipp
+
+let () =
+  (* A pentagon with two nested chords, plus a triangle hanging off a cut
+     vertex — outerplanar. *)
+  let g =
+    Graph.create ~n:8
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (0, 2); (2, 4); (4, 5); (5, 6); (6, 7); (7, 4) ]
+  in
+  Printf.printf "graph: n=%d m=%d\n" (Graph.n g) (Graph.m g);
+  Printf.printf "ground truth (centralized recognition): outerplanar = %b\n\n"
+    (Outerplanar.is_outerplanar g);
+
+  (* The honest prover decomposes the graph, commits Hamiltonian paths per
+     biconnected block, and runs the interactive proof; each node of the
+     distributed verifier then accepts or rejects from its own labels, its
+     neighbors' labels, and its own public coins. *)
+  let result = Outerplanarity.run ~seed:2024 ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Printf.printf "verifier verdict: %s\n"
+    (if result.Outerplanarity.verdict.Dip.accepted then "ACCEPT (all nodes)" else "REJECT");
+  Format.printf "complexity: %a@." Dip.pp_stats result.Outerplanarity.stats;
+
+  (* Now hand the verifier a non-outerplanar graph (K4 glued in) and let the
+     prover cheat as best it can. *)
+  let bad = Graph.add_edges g [ (0, 3); (1, 3) ] in
+  Printf.printf "\nnon-outerplanar variant: outerplanar = %b\n" (Outerplanar.is_outerplanar bad);
+  let result = Outerplanarity.run ~seed:2024 ~prover:Outerplanarity.Component_cheat { Outerplanarity.graph = bad } in
+  Printf.printf "cheating prover verdict: %s (rejecting nodes: %s)\n"
+    (if result.Outerplanarity.verdict.Dip.accepted then "ACCEPT" else "REJECT")
+    (String.concat ", " (List.map string_of_int result.Outerplanarity.verdict.Dip.rejecting))

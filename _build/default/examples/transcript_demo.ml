@@ -1,0 +1,19 @@
+(* A bit-level look at one run of the LR-sorting protocol: every label the
+   prover assigns and every coin the verifier tosses, round by round, for a
+   12-node instance.  Rounds 1/3/5 are prover labels (node labels followed
+   by one label per declared arc); rounds 2/4 are the public coins.
+
+     dune exec examples/transcript_demo.exe *)
+
+open Dipp
+
+let () =
+  let n = 12 in
+  let inst = { Lr_sorting.n; path = Array.init n Fun.id; arcs = [ (0, 4); (1, 3); (5, 9); (6, 8) ] } in
+  let r = Lr_sorting.run ~seed:7 ~retain:true ~prover:Lr_sorting.Honest inst in
+  Printf.printf "instance: path 0..%d with arcs %s\n" (n - 1)
+    (String.concat " " (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) inst.Lr_sorting.arcs));
+  Printf.printf "verdict: %s\n\n" (if r.Lr_sorting.verdict.Dip.accepted then "ACCEPT" else "REJECT");
+  Format.printf "%a@." (Dip.pp_transcript ~max_nodes:(n + List.length inst.Lr_sorting.arcs)) r.Lr_sorting.transcript;
+  Format.printf "schedule: %a  (proof size %db)@." Dip.pp_per_phase r.Lr_sorting.stats
+    r.Lr_sorting.stats.Dip.proof_size_bits

@@ -1,0 +1,1 @@
+lib/baselines/lower_bound.ml: Array Dip Dipp_protocols Fun Graph List Pls_lr_sorting Pls_path_outerplanar

@@ -1,0 +1,1 @@
+lib/baselines/lower_bound.mli: Dipp_protocols Pls_path_outerplanar

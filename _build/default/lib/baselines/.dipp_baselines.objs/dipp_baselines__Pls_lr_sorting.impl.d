@@ -1,0 +1,1 @@
+lib/baselines/pls_lr_sorting.ml: Array Bits Dip Dipp_protocols List

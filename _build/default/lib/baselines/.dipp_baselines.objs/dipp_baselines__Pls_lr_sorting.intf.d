@@ -1,0 +1,1 @@
+lib/baselines/pls_lr_sorting.mli: Dip Dipp_protocols

@@ -1,0 +1,1 @@
+lib/baselines/pls_path_outerplanar.ml: Array Bits Dip Graph Int List Option

@@ -1,0 +1,1 @@
+lib/baselines/pls_path_outerplanar.mli: Dip Graph

@@ -1,0 +1,1 @@
+lib/baselines/pls_spanning_tree.ml: Array Bits Dip Graph

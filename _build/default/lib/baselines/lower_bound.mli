@@ -1,0 +1,45 @@
+(** The Theorem 1.8 lower-bound experiment.
+
+    Theorem 1.8 (extending FFM+21): any one-round DIP for the paper's graph
+    families with errors below 1/10 needs Omega(log n) proof bits, even with
+    a randomized verifier and shared randomness.  The mechanism is
+    pigeonhole aliasing: with o(log n) bits, labels cannot carry positions,
+    and position-like information is exactly what one-round verifiers need.
+
+    We make the threshold concrete on both horns, using the truncated
+    baselines (positions sent modulo 2^label_bits):
+
+    - Soundness horn, on the paper's key primitive (LR-sorting, §3: "the
+      key technical barrier ... is a basic sorting verification task"):
+      {!fooling_lr} builds a no-instance — one backward arc spanning just
+      over 2^label_bits positions — whose aliased labels satisfy every
+      local check of {!Pls_lr_sorting}, so the truncated scheme accepts a
+      cyclic instance.  Impossible once 2^label_bits >= n.
+
+    - Completeness horn, for path-outerplanarity: {!long_chord_accepts}
+      runs {!Pls_path_outerplanar} honestly on a yes-instance whose longest
+      chord spans the whole path; the containment checks need exact
+      positions, so acceptance requires 2^label_bits >= n.
+
+    Together: below ceil(log2 n) label bits the one-round scheme is either
+    unsound or incomplete; the 5-round protocols of Theorems 1.2-1.7 need
+    only O(log log n) bits. *)
+
+val fooling_lr : n:int -> label_bits:int -> Dipp_protocols.Lr_sorting.instance option
+(** A no-instance accepted by the truncated {!Pls_lr_sorting}; [None] when
+    [2^label_bits + 2 >= n] (no aliasing possible). *)
+
+val fooling_accepted : n:int -> label_bits:int -> bool
+(** Whether the constructed fooling instance (if any) is accepted. *)
+
+val long_chord_yes : n:int -> Pls_path_outerplanar.instance
+(** Path 0..n-1 with the full-span chord (plus a nested filler), a
+    yes-instance whose labels need full-width positions. *)
+
+val long_chord_accepts : n:int -> label_bits:int -> bool
+
+val soundness_threshold : n:int -> int
+(** Smallest width at which no fooling LR instance exists/is accepted. *)
+
+val completeness_threshold : n:int -> int
+(** Smallest width at which the honest long-chord run is accepted. *)

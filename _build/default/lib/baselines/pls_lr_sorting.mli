@@ -1,0 +1,15 @@
+(** The trivial one-round proof labeling scheme for LR-sorting (paper §3,
+    intro sketch): the prover writes every node's path position —
+    Theta(log n) bits — and each node checks its path neighbors are at
+    positions +-1 and all its outgoing arcs increase.
+
+    [label_bits] caps the label width: positions are sent modulo
+    2^label_bits.  At the full width (ceil log2 n) the scheme is complete
+    and sound; the lower-bound experiment (Theorem 1.8) exercises the
+    truncated regime. *)
+
+type result = { verdict : Dip.verdict; stats : Dip.stats }
+
+val full_width : int -> int
+
+val run : ?label_bits:int -> Dipp_protocols.Lr_sorting.instance -> result

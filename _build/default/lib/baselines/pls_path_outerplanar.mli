@@ -1,0 +1,16 @@
+(** The FFM+21-style one-round proof labeling scheme for
+    path-outerplanarity (paper §3/§5 discussion): every node receives its
+    position on P and the positions of the endpoints of the first edge
+    drawn above it — Theta(log n) bits total.  Deterministic verifier,
+    perfect completeness, perfect soundness at full width.
+
+    [label_bits] truncates every position field to that many bits (values
+    sent modulo 2^label_bits); the Theorem 1.8 experiment finds fooling
+    instances once 2^label_bits < n. *)
+
+type instance = { graph : Graph.t; witness : int list }
+(** [witness] is the Hamiltonian path the honest prover labels against. *)
+
+type result = { verdict : Dip.verdict; stats : Dip.stats }
+
+val run : ?label_bits:int -> instance -> result

@@ -1,0 +1,27 @@
+type result = { verdict : Dip.verdict; stats : Dip.stats }
+
+let run g ~parent =
+  let n = Graph.n g in
+  let meter = Dip.meter () in
+  let width =
+    let rec go w = if 1 lsl w >= max 2 n then w else go (w + 1) in
+    go 1
+  in
+  (* honest distances (cheating provers are not interesting here: the
+     scheme is deterministic, used as a proof-size baseline) *)
+  let dist = Array.make n (-1) in
+  let rec d v =
+    if dist.(v) >= 0 then dist.(v)
+    else begin
+      let r = if parent.(v) < 0 then 0 else 1 + d parent.(v) in
+      dist.(v) <- r;
+      r
+    end
+  in
+  for v = 0 to n - 1 do ignore (d v) done;
+  Dip.record_prover meter (Array.init n (fun v -> Bits.of_int ~width dist.(v)));
+  let verify v =
+    if parent.(v) < 0 then dist.(v) = 0
+    else Graph.mem_edge g v parent.(v) && dist.(parent.(v)) = dist.(v) - 1
+  in
+  { verdict = Dip.all_accept ~n verify; stats = Dip.stats meter }

@@ -1,0 +1,10 @@
+(** Classical one-round proof labeling scheme for spanning-tree
+    verification (Korman–Kutten–Peleg): every node is labelled with its
+    exact distance to the root — Theta(log n) bits — and checks that its
+    tree parent is one closer and the root is at distance 0.  The
+    deterministic O(log n) counterpart of the interactive O(1)-bit
+    Lemma 2.5 protocol. *)
+
+type result = { verdict : Dip.verdict; stats : Dip.stats }
+
+val run : Graph.t -> parent:int array -> result

@@ -1,0 +1,1 @@
+lib/dip/amplify.ml: Dip Int List

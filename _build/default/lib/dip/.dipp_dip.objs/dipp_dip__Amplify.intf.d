@@ -1,0 +1,1 @@
+lib/dip/amplify.mli: Dip

@@ -1,0 +1,1 @@
+lib/dip/dip.ml: Array Bits Format List

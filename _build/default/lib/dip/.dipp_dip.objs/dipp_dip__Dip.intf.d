@@ -1,0 +1,1 @@
+lib/dip/dip.mli: Bits Format

@@ -1,0 +1,1 @@
+lib/dip/edge_labels.ml: Array Bits Forest_decomposition Forest_encoding Graph List String

@@ -1,0 +1,1 @@
+lib/dip/edge_labels.mli: Bits Graph

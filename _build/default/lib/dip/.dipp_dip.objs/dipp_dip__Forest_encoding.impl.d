@@ -1,0 +1,1 @@
+lib/dip/forest_encoding.ml: Array Bits Coloring Fun Graph List

@@ -1,0 +1,1 @@
+lib/dip/forest_encoding.mli: Bits Graph

@@ -1,0 +1,1 @@
+lib/dip/multiset_equality.ml: Array Bits Dip Fp Graph List Poly Prime Rng

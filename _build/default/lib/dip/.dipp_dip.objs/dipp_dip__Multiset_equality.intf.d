@@ -1,0 +1,1 @@
+lib/dip/multiset_equality.mli: Bits Dip Fp Graph Rng

@@ -1,0 +1,1 @@
+lib/dip/spanning_tree_verify.ml: Array Bits Dip Forest_encoding Graph List Rng String

@@ -1,0 +1,1 @@
+lib/dip/spanning_tree_verify.mli: Bits Dip Graph Rng

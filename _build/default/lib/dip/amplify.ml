@@ -1,0 +1,23 @@
+type 'a t = {
+  verdict : Dip.verdict;
+  stats : Dip.stats;
+  runs : 'a list;
+  accepting_runs : int;
+}
+
+let run ~reps ~seed ~run ~verdict ~stats =
+  if reps < 1 then invalid_arg "Amplify.run";
+  let runs = List.init reps (fun i -> run ~seed:(seed + (i * 7919) + 1)) in
+  let verdicts = List.map verdict runs in
+  let accepting_runs = List.length (List.filter (fun v -> v.Dip.accepted) verdicts) in
+  let combined_verdict =
+    {
+      Dip.accepted = accepting_runs = reps;
+      rejecting =
+        List.sort_uniq Int.compare (List.concat_map (fun v -> v.Dip.rejecting) verdicts);
+    }
+  in
+  let combined_stats = Dip.merge_parallel (List.map stats runs) in
+  { verdict = combined_verdict; stats = combined_stats; runs; accepting_runs }
+
+let soundness_error ~single ~reps = single ** float_of_int reps

@@ -1,0 +1,26 @@
+(** Generic parallel repetition.
+
+    The paper repeatedly invokes "standard parallel repetition" to drive a
+    constant soundness error down to 2^-l (e.g. after Lemma 2.5).  This
+    wrapper runs [reps] independent copies of a protocol (distinct seeds),
+    accepts iff all copies accept, and accounts the labels of all copies
+    into one stats record (parallel copies concatenate per phase, so proof
+    sizes add and rounds stay put). *)
+
+type 'a t = {
+  verdict : Dip.verdict;
+  stats : Dip.stats;
+  runs : 'a list;
+  accepting_runs : int;
+}
+
+val run :
+  reps:int ->
+  seed:int ->
+  run:(seed:int -> 'a) ->
+  verdict:('a -> Dip.verdict) ->
+  stats:('a -> Dip.stats) ->
+  'a t
+
+val soundness_error : single:float -> reps:int -> float
+(** [single^reps] — the predicted residual error. *)

@@ -1,0 +1,135 @@
+type phase = Prover_phase | Verifier_phase
+
+type meter = {
+  mutable phases_rev : phase list;
+  mutable phase_max_rev : int list;
+  mutable proof_size : int;
+  mutable node_totals : int array;
+  mutable total_prover : int;
+  mutable total_verifier : int;
+  retain : bool;
+  mutable retained_rev : (phase * Bits.t array) list;
+}
+
+let meter ?(retain = false) () =
+  {
+    phases_rev = [];
+    phase_max_rev = [];
+    proof_size = 0;
+    node_totals = [||];
+    total_prover = 0;
+    total_verifier = 0;
+    retain;
+    retained_rev = [];
+  }
+
+let ensure_totals m n = if Array.length m.node_totals < n then begin
+    let t = Array.make n 0 in
+    Array.blit m.node_totals 0 t 0 (Array.length m.node_totals);
+    m.node_totals <- t
+  end
+
+let record_prover m labels =
+  m.phases_rev <- Prover_phase :: m.phases_rev;
+  ensure_totals m (Array.length labels);
+  let phase_max = ref 0 in
+  Array.iteri
+    (fun v l ->
+      let b = Bits.length l in
+      m.proof_size <- max m.proof_size b;
+      phase_max := max !phase_max b;
+      m.node_totals.(v) <- m.node_totals.(v) + b;
+      m.total_prover <- m.total_prover + b)
+    labels;
+  m.phase_max_rev <- !phase_max :: m.phase_max_rev;
+  if m.retain then m.retained_rev <- (Prover_phase, Array.copy labels) :: m.retained_rev
+
+let record_verifier m coins =
+  m.phases_rev <- Verifier_phase :: m.phases_rev;
+  let phase_max = ref 0 in
+  Array.iter
+    (fun c ->
+      phase_max := max !phase_max (Bits.length c);
+      m.total_verifier <- m.total_verifier + Bits.length c)
+    coins;
+  m.phase_max_rev <- !phase_max :: m.phase_max_rev;
+  if m.retain then m.retained_rev <- (Verifier_phase, Array.copy coins) :: m.retained_rev
+
+type stats = {
+  interaction_rounds : int;
+  proof_size_bits : int;
+  max_node_total_bits : int;
+  total_prover_bits : int;
+  total_verifier_bits : int;
+  phases : phase list;
+  per_phase : (phase * int) list;
+}
+
+let stats m =
+  {
+    interaction_rounds = List.length m.phases_rev;
+    proof_size_bits = m.proof_size;
+    max_node_total_bits = Array.fold_left max 0 m.node_totals;
+    total_prover_bits = m.total_prover;
+    total_verifier_bits = m.total_verifier;
+    phases = List.rev m.phases_rev;
+    per_phase = List.combine (List.rev m.phases_rev) (List.rev m.phase_max_rev);
+  }
+
+type verdict = { accepted : bool; rejecting : int list }
+
+let all_accept ~n decide =
+  let rejecting = ref [] in
+  for v = n - 1 downto 0 do
+    if not (decide v) then rejecting := v :: !rejecting
+  done;
+  { accepted = !rejecting = []; rejecting = !rejecting }
+
+let merge_parallel stats_list =
+  match stats_list with
+  | [] -> invalid_arg "Dip.merge_parallel"
+  | first :: _ ->
+      List.fold_left
+        (fun acc s ->
+          {
+            interaction_rounds = max acc.interaction_rounds s.interaction_rounds;
+            proof_size_bits = acc.proof_size_bits + s.proof_size_bits;
+            max_node_total_bits = acc.max_node_total_bits + s.max_node_total_bits;
+            total_prover_bits = acc.total_prover_bits + s.total_prover_bits;
+            total_verifier_bits = acc.total_verifier_bits + s.total_verifier_bits;
+            phases =
+              (if List.length acc.phases >= List.length s.phases then acc.phases else s.phases);
+            per_phase =
+              (if List.length acc.per_phase >= List.length s.per_phase then acc.per_phase
+               else s.per_phase);
+          })
+        first (List.tl stats_list)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "rounds=%d proof=%db node-total=%db prover-total=%db coins=%db"
+    s.interaction_rounds s.proof_size_bits s.max_node_total_bits s.total_prover_bits
+    s.total_verifier_bits
+
+let pp_per_phase ppf s =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf (ph, bits) ->
+      Format.fprintf ppf "%s%d" (match ph with Prover_phase -> "P" | Verifier_phase -> "V") bits)
+    ppf s.per_phase
+
+let transcript m = List.rev m.retained_rev
+
+let pp_transcript ?(max_nodes = 16) ppf t =
+  List.iteri
+    (fun round (ph, labels) ->
+      Format.fprintf ppf "round %d (%s):@." (round + 1)
+        (match ph with Prover_phase -> "prover" | Verifier_phase -> "verifier");
+      Array.iteri
+        (fun v l ->
+          if v < max_nodes then
+            Format.fprintf ppf "  node %3d | %s@." v
+              (if Bits.length l = 0 then "-" else Bits.to_string l))
+        labels;
+      if Array.length labels > max_nodes then
+        Format.fprintf ppf "  ... (%d more)@." (Array.length labels - max_nodes))
+    t

@@ -1,0 +1,67 @@
+(** The distributed-interactive-proof execution model (paper §1, "Model").
+
+    A protocol run alternates prover phases (the prover assigns one label —
+    a bitstring — to every node) and verifier phases (every node draws a
+    public random bitstring).  After the final prover phase every node
+    decides from its own randomness, its own labels, and its neighbors'
+    labels; the run accepts iff all nodes accept.
+
+    This module records phases and computes the paper's complexity measures:
+
+    - interaction rounds = number of phases (a 5-round protocol is
+      P-V-P-V-P);
+    - proof size = maximum number of bits in any single label assigned by
+      the prover in any phase;
+    - plus totals useful for the experiment tables. *)
+
+type phase = Prover_phase | Verifier_phase
+
+type meter
+
+val meter : ?retain:bool -> unit -> meter
+(** With [retain:true] the meter keeps every recorded label array so the
+    whole transcript can be rendered afterwards (small instances only). *)
+
+val record_prover : meter -> Bits.t array -> unit
+(** One prover phase: [labels.(v)] is node v's label this phase. *)
+
+val record_verifier : meter -> Bits.t array -> unit
+(** One verifier phase: [coins.(v)] is node v's public randomness. *)
+
+type stats = {
+  interaction_rounds : int;
+  proof_size_bits : int;  (** max single prover label, in bits *)
+  max_node_total_bits : int;  (** max per-node sum of prover labels across phases *)
+  total_prover_bits : int;
+  total_verifier_bits : int;
+  phases : phase list;  (** in order *)
+  per_phase : (phase * int) list;
+      (** per phase, the largest single label/coin assigned in it (bits) *)
+}
+
+val stats : meter -> stats
+
+type verdict = { accepted : bool; rejecting : int list }
+
+val all_accept : n:int -> (int -> bool) -> verdict
+(** Runs the per-node decision function and collects rejections. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_per_phase : Format.formatter -> stats -> unit
+(** Renders the round schedule with per-phase maximum label sizes, e.g.
+    ["P19 V30 P80 V18 P90"]. *)
+
+val transcript : meter -> (phase * Bits.t array) list
+(** The retained label/coin arrays in round order; empty unless the meter
+    was created with [retain:true]. *)
+
+val pp_transcript : ?max_nodes:int -> Format.formatter -> (phase * Bits.t array) list -> unit
+(** Bit-level rendering of a transcript, one row per node, truncated to
+    [max_nodes] (default 16). *)
+
+val merge_parallel : stats list -> stats
+(** Stats of protocols executed in parallel (same rounds, labels
+    concatenated per phase): rounds = max, label sizes and totals add.
+    The proof size is the sum of component proof sizes — an upper bound on
+    the true concatenated maximum that preserves every asymptotic claim. *)

@@ -1,0 +1,51 @@
+type t = {
+  graph : Graph.t;
+  decomp : Forest_decomposition.t;
+  encodings : Forest_encoding.label array array;  (** per forest *)
+  cbits : int;
+}
+
+let create graph =
+  let decomp = Forest_decomposition.compute graph in
+  let encodings =
+    Array.init decomp.Forest_decomposition.forests (fun f ->
+        Forest_encoding.encode graph ~parent:decomp.Forest_decomposition.parent.(f))
+  in
+  let cbits =
+    Array.fold_left (fun acc labels -> max acc (Forest_encoding.color_bits labels)) 1 encodings
+  in
+  { graph; decomp; encodings; cbits }
+
+let forests t = t.decomp.Forest_decomposition.forests
+
+let setup_width t = forests t * Forest_encoding.width ~cbits:t.cbits
+
+let setup_labels t =
+  Array.init (Graph.n t.graph) (fun v ->
+      Bits.concat
+        (List.init (forests t) (fun f -> Forest_encoding.to_bits ~cbits:t.cbits t.encodings.(f).(v))))
+
+let carrier _t f = f
+
+let child_of_edge t (u, v) =
+  match Forest_decomposition.forest_of_edge t.decomp u v with
+  | Some (_, child) -> child
+  | None -> invalid_arg "Edge_labels.child_of_edge: not an edge"
+
+let assign t ~width f =
+  let n = Graph.n t.graph in
+  Array.init n (fun v ->
+      Bits.concat
+        (List.init (forests t) (fun fo ->
+             let p = t.decomp.Forest_decomposition.parent.(fo).(v) in
+             if p < 0 then Bits.of_string (String.make width '0')
+             else begin
+               let l = f (Graph.normalize_edge v p) in
+               if Bits.length l <> width then invalid_arg "Edge_labels.assign: wrong width";
+               l
+             end)))
+
+let read_edge t ~width ~labels (u, v) =
+  match Forest_decomposition.forest_of_edge t.decomp u v with
+  | None -> invalid_arg "Edge_labels.read_edge: not an edge"
+  | Some (fo, child) -> Bits.sub labels.(child) ~pos:(fo * width) ~len:width

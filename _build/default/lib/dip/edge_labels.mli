@@ -1,0 +1,43 @@
+(** Edge-label simulation on planar graphs (paper Lemma 2.4).
+
+    Protocols below are described with the prover writing labels on *edges*
+    (both endpoints can read them).  On a planar graph the edge set is
+    partitioned into O(1) rooted forests; the label of edge (child, parent)
+    in forest [f] is carried in field [f] of the child's node label, and the
+    parent recognizes the field as theirs via the forest encoding
+    (Lemma 2.3).  Total overhead: O(1) fields, i.e. O(l) node-label bits for
+    l-bit edge labels.
+
+    Substitution (DESIGN.md #2): degeneracy insertion gives <= 5 forests on
+    planar graphs instead of the optimal 3 — the constant is irrelevant to
+    every stated bound. *)
+
+type t
+
+val create : Graph.t -> t
+(** Computes the forest partition and the per-forest encodings. *)
+
+val forests : t -> int
+
+val setup_labels : t -> Bits.t array
+(** The round-1 constant-size part: concatenated forest-encoding labels for
+    all forests (what lets endpoints locate each edge's field). *)
+
+val setup_width : t -> int
+
+val carrier : t -> int -> int
+(** [carrier t (f)] — internal; exposed for tests. *)
+
+val assign : t -> width:int -> (Graph.edge -> Bits.t) -> Bits.t array
+(** Simulates one prover phase of edge labels: [assign t ~width f] packs
+    [f e] (which must have exactly [width] bits) for every edge into node
+    labels — node v's label is the concatenation over forests of the label
+    of its parent edge (zeros when v is a root in that forest). *)
+
+val read_edge : t -> width:int -> labels:Bits.t array -> Graph.edge -> Bits.t
+(** What both endpoints of the edge decode from the assignment.  Reading
+    uses only the two endpoints' node labels plus the (verified) forest
+    structure, mirroring the lemma's locality. *)
+
+val child_of_edge : t -> Graph.edge -> int
+(** The accountable endpoint (whose label carries the edge field). *)

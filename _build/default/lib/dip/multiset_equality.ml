@@ -1,0 +1,78 @@
+type instance = {
+  tree : Graph.t;
+  parent : int array;
+  s1 : int list array;
+  s2 : int list array;
+  k : int;
+  universe : int;
+}
+
+let field inst =
+  let k = max 2 inst.k in
+  Fp.create (Prime.next_prime (max (k * k) (max inst.universe 16)))
+
+type labels = { z : int; e1 : int array; e2 : int array }
+
+let sample_z inst rng = Fp.sample (field inst) rng
+
+let children_of_parent parent =
+  let n = Array.length parent in
+  let children = Array.make n [] in
+  Array.iteri (fun v p -> if p >= 0 then children.(p) <- v :: children.(p)) parent;
+  children
+
+let honest_labels inst ~z =
+  let f = field inst in
+  let n = Array.length inst.parent in
+  let children = children_of_parent inst.parent in
+  let e1 = Array.make n (-1) and e2 = Array.make n (-1) in
+  let rec fill which store v =
+    if store.(v) >= 0 then store.(v)
+    else begin
+      let own = Poly.eval f (which v) z in
+      let r = List.fold_left (fun acc c -> Fp.mul f acc (fill which store c)) own children.(v) in
+      store.(v) <- r;
+      r
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (fill (fun v -> inst.s1.(v)) e1 v);
+    ignore (fill (fun v -> inst.s2.(v)) e2 v)
+  done;
+  { z; e1; e2 }
+
+let labels_to_bits inst l =
+  let f = field inst in
+  let w = Fp.bit_width f in
+  Array.init (Array.length inst.parent) (fun v ->
+      Bits.concat [ Bits.of_int ~width:w l.z; Bits.of_int ~width:w l.e1.(v); Bits.of_int ~width:w l.e2.(v) ])
+
+let verify_node inst ~z_sampled l v =
+  let f = field inst in
+  let children = children_of_parent inst.parent in
+  let check which store =
+    let own = Poly.eval f (which v) l.z in
+    let expect = List.fold_left (fun acc c -> Fp.mul f acc store.(c)) own children.(v) in
+    store.(v) = expect
+  in
+  let agg_ok = check (fun v -> inst.s1.(v)) l.e1 && check (fun v -> inst.s2.(v)) l.e2 in
+  let z_ok = if inst.parent.(v) < 0 then l.z = z_sampled else true in
+  (* z is a single field in this formalization (all nodes see the same
+     record); in the bit-level protocol each node carries a z echo checked
+     against its parent — the serialization above charges for it. *)
+  let root_ok = if inst.parent.(v) < 0 then l.e1.(v) = l.e2.(v) else true in
+  agg_ok && z_ok && root_ok
+
+let run ?(seed = 0) inst =
+  let n = Array.length inst.parent in
+  let meter = Dip.meter () in
+  let rng = Rng.create seed in
+  let z = sample_z inst rng in
+  let f = field inst in
+  let w = Fp.bit_width f in
+  let coins = Array.init n (fun v -> if inst.parent.(v) < 0 then Bits.of_int ~width:w z else Bits.empty) in
+  Dip.record_verifier meter coins;
+  let l = honest_labels inst ~z in
+  Dip.record_prover meter (labels_to_bits inst l);
+  let verdict = Dip.all_accept ~n (fun v -> verify_node inst ~z_sampled:z l v) in
+  (verdict, Dip.stats meter)

@@ -1,0 +1,42 @@
+(** Two-round multiset equality over a rooted spanning tree
+    (paper Lemma 2.6, after Naor–Parter–Yogev).
+
+    Each node holds multisets S1(v), S2(v) of elements from a universe of
+    size [k^c]; the task is to decide whether the unions are equal as
+    multisets.  The root samples a point z of F_p (p the smallest prime
+    above k^{c+1}); the prover assigns every node z plus the evaluations of
+    the characteristic polynomials of the two multisets restricted to its
+    subtree; aggregation is checked locally up the tree and the root
+    compares the two full evaluations.  Perfect completeness; soundness
+    error <= k/p; proof size O(log k). *)
+
+type instance = {
+  tree : Graph.t;  (** locality graph: at least the tree edges *)
+  parent : int array;  (** rooted tree, exactly one -1 *)
+  s1 : int list array;
+  s2 : int list array;
+  k : int;  (** bound on the multiset sizes *)
+  universe : int;  (** elements are in [0, universe) *)
+}
+
+val field : instance -> Fp.t
+(** Smallest prime above [max (k * universe_slack) universe]; see paper
+    footnote 10 — p < k^{c+2}, so log p = O(log k). *)
+
+type labels = { z : int; e1 : int array; e2 : int array }
+
+val sample_z : instance -> Rng.t -> int
+(** Root's round-1 (verifier) sample. *)
+
+val honest_labels : instance -> z:int -> labels
+(** The honest prover's assignment: subtree evaluations of both
+    polynomials. *)
+
+val labels_to_bits : instance -> labels -> Bits.t array
+
+val verify_node : instance -> z_sampled:int -> labels -> int -> bool
+(** Local check at one node: aggregation consistency with its children, z
+    echo consistency with its parent, root compares e1 = e2 and its z. *)
+
+val run : ?seed:int -> instance -> Dip.verdict * Dip.stats
+(** Standalone two-round execution with the honest prover. *)

@@ -1,0 +1,127 @@
+type coins = { xs : int array array; tags : Bits.t option array array }
+type response = { sums : int array array; taus : Bits.t array array }
+
+let q = 16
+let q_bits = 4
+
+let children_of_parent parent =
+  let n = Array.length parent in
+  let children = Array.make n [] in
+  Array.iteri (fun v p -> if p >= 0 then children.(p) <- v :: children.(p)) parent;
+  children
+
+let draw_coins ~reps ~tag_bits ~parent rng =
+  let n = Array.length parent in
+  let xs = Array.init reps (fun rep -> Array.init n (fun v -> Rng.int (Rng.split rng ((rep * n) + v)) q)) in
+  let tags =
+    Array.init reps (fun rep ->
+        Array.init n (fun v ->
+            if parent.(v) < 0 then Some (Bits.random (Rng.split rng (((reps + rep) * n) + v)) tag_bits)
+            else None))
+  in
+  { xs; tags }
+
+(* The prover's response must tolerate *cheating* parent claims (pointer
+   cycles): on a cycle the local equations are unsatisfiable — exactly what
+   the verifier exploits — so the prover fixes an arbitrary value at one
+   cycle node and propagates; the wrap-around constraint then fails unless
+   the random x's happen to cancel. *)
+let honest_response ~reps ~parent coins =
+  let n = Array.length parent in
+  let children = children_of_parent parent in
+  let sums = Array.init reps (fun _ -> Array.make n (-1)) in
+  let taus = Array.init reps (fun _ -> Array.make n Bits.empty) in
+  let tag_bits =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a t -> match t with Some b -> max a (Bits.length b) | None -> a) acc row)
+      1 coins.tags
+  in
+  for rep = 0 to reps - 1 do
+    let state = Array.make n 0 in
+    (* 0 = fresh, 1 = in progress, 2 = done *)
+    let rec sum v =
+      if sums.(rep).(v) >= 0 then sums.(rep).(v)
+      else if state.(v) = 1 then 0 (* cycle: best-effort placeholder *)
+      else begin
+        state.(v) <- 1;
+        let s = List.fold_left (fun acc c -> (acc + sum c) mod q) coins.xs.(rep).(v) children.(v) in
+        state.(v) <- 2;
+        sums.(rep).(v) <- s;
+        s
+      end
+    in
+    for v = 0 to n - 1 do ignore (sum v) done;
+    let tstate = Array.make n 0 in
+    let rec tau v =
+      if Bits.length taus.(rep).(v) > 0 then taus.(rep).(v)
+      else if tstate.(v) = 1 then Bits.of_string (String.make tag_bits '0') (* parent cycle *)
+      else begin
+        tstate.(v) <- 1;
+        let t =
+          if parent.(v) < 0 then match coins.tags.(rep).(v) with Some t -> t | None -> Bits.of_string (String.make tag_bits '0')
+          else tau parent.(v)
+        in
+        tstate.(v) <- 2;
+        taus.(rep).(v) <- t;
+        t
+      end
+    in
+    for v = 0 to n - 1 do ignore (tau v) done
+  done;
+  { sums; taus }
+
+let coins_to_bits ~tag_bits:_ coins =
+  let reps = Array.length coins.xs in
+  let n = Array.length coins.xs.(0) in
+  Array.init n (fun v ->
+      Bits.concat
+        (List.concat
+           (List.init reps (fun rep ->
+                Bits.of_int ~width:q_bits coins.xs.(rep).(v)
+                :: (match coins.tags.(rep).(v) with Some t -> [ t ] | None -> [])))))
+
+let response_to_bits ~tag_bits:_ resp =
+  let reps = Array.length resp.sums in
+  let n = Array.length resp.sums.(0) in
+  Array.init n (fun v ->
+      Bits.concat
+        (List.concat
+           (List.init reps (fun rep -> [ Bits.of_int ~width:q_bits resp.sums.(rep).(v); resp.taus.(rep).(v) ]))))
+
+let verify_node ~reps ~parent ~children ~graph ~coins ~response v =
+  let ok = ref true in
+  for rep = 0 to reps - 1 do
+    (* sum check *)
+    let expect =
+      List.fold_left (fun acc c -> (acc + response.sums.(rep).(c)) mod q) coins.xs.(rep).(v) children.(v)
+    in
+    if response.sums.(rep).(v) <> expect then ok := false;
+    (* tag checks *)
+    let tau = response.taus.(rep).(v) in
+    (if parent.(v) < 0 then
+       match coins.tags.(rep).(v) with
+       | Some t -> if not (Bits.equal tau t) then ok := false
+       | None -> ok := false
+     else if not (Bits.equal tau response.taus.(rep).(parent.(v))) then ok := false);
+    Array.iter (fun u -> if not (Bits.equal tau response.taus.(rep).(u)) then ok := false) (Graph.neighbors graph v)
+  done;
+  !ok
+
+let run ?(seed = 0) ?(reps = 8) ?(tag_bits = 4) g ~parent =
+  let n = Graph.n g in
+  let meter = Dip.meter () in
+  (* Round 1: the structure encoding (charged to the caller normally; we
+     charge it here for standalone runs). *)
+  let enc = Forest_encoding.encode g ~parent in
+  let cbits = Forest_encoding.color_bits enc in
+  Dip.record_prover meter (Array.map (Forest_encoding.to_bits ~cbits) enc);
+  let rng = Rng.create seed in
+  let coins = draw_coins ~reps ~tag_bits ~parent rng in
+  Dip.record_verifier meter (coins_to_bits ~tag_bits coins);
+  let response = honest_response ~reps ~parent coins in
+  Dip.record_prover meter (response_to_bits ~tag_bits response);
+  let children = children_of_parent parent in
+  let verdict =
+    Dip.all_accept ~n (fun v -> verify_node ~reps ~parent ~children ~graph:g ~coins ~response v)
+  in
+  (verdict, Dip.stats meter)

@@ -1,0 +1,73 @@
+(** Interactive spanning-tree verification (paper Lemma 2.5).
+
+    The paper uses, as a black box, the 3-round constant-proof-size protocol
+    of Naor–Parter–Yogev (SODA 2020, §7.1): given a subgraph T (here: parent
+    pointers decoded from a Lemma 2.3 forest encoding), decide whether T is
+    a spanning tree of the connected communication graph G.  Perfect
+    completeness, constant soundness error, amplified by parallel
+    repetition.
+
+    The NPY protocol's internals are not reproduced in the paper; this is a
+    reconstruction with the same interface and bounds (DESIGN.md #3):
+
+    - Round 1 (prover): the forest encoding itself (recorded by the caller).
+    - Round 2 (verifier): per repetition, every node draws [x_v] in F_q and
+      every *claimed root* draws a tag of [tag_bits] bits.
+    - Round 3 (prover): per repetition, every node gets [s_v] (claimed sum
+      of x over its T-subtree, mod q) and [tau_v] (its component root's tag).
+
+    Local checks: (a) s_v = x_v + sum of children's s (a parent-pointer
+    cycle forces "sum of x over the cycle component = 0 mod q", caught with
+    probability 1 - 1/q); (b) tau equals the parent's tau, roots check their
+    own tag; (c) tau_u = tau_v across *every* G-edge (G is connected, so two
+    tree components leave a crossing edge whose sides hold independently
+    drawn root tags, caught with probability 1 - 2^-tag_bits); (d) the node
+    marked root is unique in its component by (b)+(c).
+
+    Per repetition the prover sends q-width + tag_bits bits; [reps]
+    repetitions drive the soundness error below (max(1/q, 2^-tag_bits))^reps
+    for claims that are wrong in the same way each time; the protocol is
+    run with reps = Theta(log log n) by the callers. *)
+
+type coins = { xs : int array array; tags : Bits.t option array array }
+(** [xs.(rep).(v)]; [tags.(rep).(v)] is Some for claimed roots. *)
+
+type response = { sums : int array array; taus : Bits.t array array }
+
+val q : int
+(** Field size for the sum check (16 => 4 bits). *)
+
+val q_bits : int
+
+val draw_coins : reps:int -> tag_bits:int -> parent:int array -> Rng.t -> coins
+(** What the verifier sends in round 2 (public). *)
+
+val honest_response : reps:int -> parent:int array -> coins -> response
+(** The honest prover's round-3 labels, computed from the true tree. *)
+
+val coins_to_bits : tag_bits:int -> coins -> Bits.t array
+val response_to_bits : tag_bits:int -> response -> Bits.t array
+(** Serializations for metering. *)
+
+val verify_node :
+  reps:int ->
+  parent:int array ->
+  children:int list array ->
+  graph:Graph.t ->
+  coins:coins ->
+  response:response ->
+  int ->
+  bool
+(** The local decision at one node: it reads only its own coins, its own and
+    its neighbors' response entries, and the (already locally-decoded)
+    parent/children pointers. *)
+
+val run :
+  ?seed:int ->
+  ?reps:int ->
+  ?tag_bits:int ->
+  Graph.t ->
+  parent:int array ->
+  Dip.verdict * Dip.stats
+(** Standalone execution (rounds 2-3 plus the given structure), used by the
+    unit tests and benchmarks for this sub-protocol. *)

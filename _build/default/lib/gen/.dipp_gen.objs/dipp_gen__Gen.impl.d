@@ -1,0 +1,1 @@
+lib/gen/gen.ml: Array Fun Graph List Outerplanar Planarity Rng Rotation Series_parallel Traversal

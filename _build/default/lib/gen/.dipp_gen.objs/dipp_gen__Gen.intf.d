@@ -1,0 +1,1 @@
+lib/gen/gen.mli: Graph Rotation Series_parallel

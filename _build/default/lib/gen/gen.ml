@@ -1,0 +1,266 @@
+(* ------------------------------------------------------------------ *)
+(* LR-sorting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lr_yes ~n ?(arcs_factor = 2) seed =
+  let rng = Rng.create seed in
+  let path = Array.init n Fun.id in
+  let arcs = ref [] in
+  for _ = 1 to arcs_factor * n do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    let u = min a b and v = max a b in
+    if v - u >= 2 then arcs := (u, v) :: !arcs
+  done;
+  (path, List.sort_uniq compare !arcs)
+
+let lr_no ~n ?(arcs_factor = 2) seed =
+  let path, arcs = lr_yes ~n ~arcs_factor seed in
+  let rng = Rng.create (seed + 7919) in
+  let u = Rng.int rng (n / 2) in
+  let v = u + 2 + Rng.int rng (n - u - 3) in
+  let backward = (v, u) in
+  (path, backward :: List.filter (fun a -> a <> (u, v)) arcs)
+
+(* ------------------------------------------------------------------ *)
+(* Path-outerplanarity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let nested_chords rng n =
+  let edges = ref [] in
+  let rec add l r depth =
+    if r - l >= 2 && depth > 0 && Rng.int rng 3 > 0 then begin
+      edges := (l, r) :: !edges;
+      let m = l + 1 + Rng.int rng (r - l - 1) in
+      add l m (depth - 1);
+      add m r (depth - 1)
+    end
+  in
+  add 0 (n - 1) 40;
+  !edges
+
+let path_outerplanar ~n seed =
+  let rng = Rng.create seed in
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) @ nested_chords rng n in
+  (Graph.create ~n (List.sort_uniq compare edges), List.init n Fun.id)
+
+let path_crossing ~n seed =
+  if n < 8 then invalid_arg "Gen.path_crossing";
+  let g, w = path_outerplanar ~n seed in
+  let rng = Rng.create (seed + 31) in
+  let a = Rng.int rng (n - 7) in
+  let b = a + 1 and c = a + 2 + Rng.int rng 2 in
+  let d = c + 2 in
+  (* chords (a,c),(b,d),(a,d): a K4 minor with the path segments *)
+  (Graph.add_edges g [ (a, c); (b, d); (a, d) ], w)
+
+(* ------------------------------------------------------------------ *)
+(* Outerplanarity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let block_edges rng size offset =
+  (* biconnected outerplanar block: cycle + nested chords *)
+  let cyc = List.init size (fun i -> (offset + i, offset + ((i + 1) mod size))) in
+  let chords = List.map (fun (l, r) -> (offset + l, offset + r)) (nested_chords rng (size - 1)) in
+  cyc @ List.filter (fun (a, b) -> abs (a - b) >= 2) chords
+
+let outerplanar ~blocks seed =
+  let rng = Rng.create seed in
+  let edges = ref [] and next = ref 0 in
+  for _ = 1 to blocks do
+    let size = 4 + Rng.int rng 8 in
+    let offset = if !next = 0 then 0 else !next - 1 in
+    edges := block_edges rng size offset @ !edges;
+    next := offset + size
+  done;
+  Graph.create ~n:!next (List.sort_uniq compare (List.map (fun (a, b) -> Graph.normalize_edge a b) !edges))
+
+let outerplanar_no ~blocks seed =
+  let g = outerplanar ~blocks seed in
+  (* force a K4 minor inside the first block *)
+  Graph.add_edges g [ (0, 2); (1, 3); (0, 3) ]
+
+let biconnected_outerplanar ~n seed =
+  let rng = Rng.create seed in
+  Graph.create ~n
+    (List.sort_uniq compare (List.map (fun (a, b) -> Graph.normalize_edge a b) (block_edges rng n 0)))
+
+let maximal_outerplanar ~n seed =
+  match Outerplanar.triangulate (biconnected_outerplanar ~n seed) with
+  | Some g -> g
+  | None -> invalid_arg "Gen.maximal_outerplanar"
+
+
+(* ------------------------------------------------------------------ *)
+(* Planar graphs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let planar ~n seed =
+  if n < 3 then invalid_arg "Gen.planar";
+  let rng = Rng.create seed in
+  (* Apollonian-style stacking: keep a list of triangular faces, insert new
+     nodes into random faces. *)
+  let edges = ref [ (0, 1); (1, 2); (0, 2) ] in
+  let faces = ref [| (0, 1, 2) |] in
+  let face_list = ref [ (0, 1, 2) ] in
+  ignore faces;
+  for v = 3 to n - 1 do
+    let k = Rng.int rng (List.length !face_list) in
+    let a, b, c = List.nth !face_list k in
+    edges := (v, a) :: (v, b) :: (v, c) :: !edges;
+    face_list := (a, b, v) :: (a, c, v) :: (b, c, v) :: List.filteri (fun i _ -> i <> k) !face_list
+  done;
+  (* random deletions keeping connectivity *)
+  let g = Graph.create ~n (List.map (fun (a, b) -> Graph.normalize_edge a b) !edges) in
+  let candidates = List.filter (fun _ -> Rng.int rng 4 = 0) (Graph.edges g) in
+  List.fold_left
+    (fun acc e ->
+      let g' = Graph.remove_edges acc [ e ] in
+      if Traversal.is_connected g' then g' else acc)
+    g candidates
+
+let planar_bounded_degree ~n seed =
+  let rng = Rng.create seed in
+  let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+  let g = Graph.grid side side in
+  (* add one diagonal per cell at random: stays planar, degree <= 8 *)
+  let extra = ref [] in
+  for r = 0 to side - 2 do
+    for c = 0 to side - 2 do
+      let id x y = (x * side) + y in
+      if Rng.bool rng then extra := (id r c, id (r + 1) (c + 1)) :: !extra
+      else extra := (id r (c + 1), id (r + 1) c) :: !extra
+    done
+  done;
+  Graph.add_edges g !extra
+
+let nonplanar ~n seed =
+  if n < 20 then invalid_arg "Gen.nonplanar";
+  let g = planar ~n:(n - 15) seed in
+  (* splice in a K5 subdivided once (15 fresh nodes: 5 branch + 10 middles),
+     attached to node 0 *)
+  let base = n - 15 in
+  let branch = Array.init 5 (fun i -> base + i) in
+  let mid = ref (base + 5) in
+  let edges = ref [ (0, branch.(0)) ] in
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      let m = !mid in
+      incr mid;
+      edges := (branch.(i), m) :: (m, branch.(j)) :: !edges
+    done
+  done;
+  Graph.create ~n ((!edges |> List.map (fun (a, b) -> Graph.normalize_edge a b)) @ Graph.edges g)
+
+let nonplanar_k33 ~n seed =
+  if n < 22 then invalid_arg "Gen.nonplanar_k33";
+  let extra = 6 + 9 in
+  let g = planar ~n:(n - extra) seed in
+  let base = n - extra in
+  let left = Array.init 3 (fun i -> base + i) and right = Array.init 3 (fun i -> base + 3 + i) in
+  let mid = ref (base + 6) in
+  let edges = ref [ (0, left.(0)) ] in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let m = !mid in
+      incr mid;
+      edges := (left.(i), m) :: (m, right.(j)) :: !edges
+    done
+  done;
+  Graph.create ~n ((!edges |> List.map (fun (a, b) -> Graph.normalize_edge a b)) @ Graph.edges g)
+
+let embedding g = Planarity.embed g
+
+let corrupted_embedding g seed =
+  match Planarity.embed g with
+  | None -> None
+  | Some rot -> Rotation.corrupt_swap rot (Rng.create seed)
+
+(* ------------------------------------------------------------------ *)
+(* Series-parallel / treewidth 2                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sp_tree_gen rng s t fresh budget =
+  let next = ref fresh in
+  let rec build s t budget =
+    if budget <= 1 then Series_parallel.Edge (s, t)
+    else if Rng.int rng 2 = 0 then begin
+      let x = !next in
+      incr next;
+      Series_parallel.Series (build s x (budget / 2), build x t (budget - (budget / 2)))
+    end
+    else begin
+      let x = !next in
+      incr next;
+      (* the second parallel branch always starts with a fresh node, so no
+         edge is ever produced twice *)
+      Series_parallel.Parallel
+        (build s t (budget / 2), Series_parallel.Series (Series_parallel.Edge (s, x), build x t (budget - (budget / 2))))
+    end
+  in
+  let tr = build s t budget in
+  (tr, !next)
+
+let series_parallel ~size seed =
+  let rng = Rng.create seed in
+  let tr, n = sp_tree_gen rng 0 1 2 size in
+  (tr, Series_parallel.graph_of_sp ~n tr)
+
+let series_parallel_no ~size seed =
+  let tr, g = series_parallel ~size seed in
+  let n = Graph.n g in
+  let rng = Rng.create (seed + 4242) in
+  let rec try_edge tries =
+    if tries = 0 then None
+    else begin
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b && not (Graph.mem_edge g a b) then begin
+        let g2 = Graph.add_edges g [ (a, b) ] in
+        if not (Series_parallel.is_series_parallel g2) then Some (g2, (a, b)) else try_edge (tries - 1)
+      end
+      else try_edge (tries - 1)
+    end
+  in
+  match try_edge 100 with
+  | None -> None
+  | Some (g2, (a, b)) ->
+      let ears = Series_parallel.ears_of_sp tr in
+      Some (g2, ears @ [ [ a; b ] ])
+
+let treewidth2 ~blocks seed =
+  let rng = Rng.create seed in
+  let edges = ref [] and fresh = ref 2 in
+  let rec collect = function
+    | Series_parallel.Edge (u, v) -> [ (u, v) ]
+    | Series_parallel.Series (a, b) | Series_parallel.Parallel (a, b) -> collect a @ collect b
+  in
+  let tr, nx = sp_tree_gen rng 0 1 !fresh 8 in
+  fresh := nx;
+  edges := collect tr;
+  let cur = ref 1 in
+  for _ = 2 to blocks do
+    let t = !fresh in
+    incr fresh;
+    let tr, nx = sp_tree_gen rng !cur t !fresh 8 in
+    fresh := nx;
+    edges := collect tr @ !edges;
+    cur := t
+  done;
+  Graph.create ~n:!fresh (List.map (fun (a, b) -> Graph.normalize_edge a b) !edges)
+
+let treewidth2_no ~blocks seed =
+  let g = treewidth2 ~blocks seed in
+  let n = Graph.n g in
+  let rng = Rng.create (seed + 5151) in
+  let rec try_edge tries =
+    if tries = 0 then None
+    else begin
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b && not (Graph.mem_edge g a b) then begin
+        let g2 = Graph.add_edges g [ (a, b) ] in
+        if Traversal.is_connected g2 && not (Series_parallel.is_treewidth_le_2 g2) then Some g2
+        else try_edge (tries - 1)
+      end
+      else try_edge (tries - 1)
+    end
+  in
+  try_edge 150

@@ -1,0 +1,1 @@
+lib/graph/biconnectivity.ml: Array Graph Int List Queue Set Stack Traversal

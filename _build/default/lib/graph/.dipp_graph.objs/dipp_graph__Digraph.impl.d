@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Format Graph Int List Option Queue Set

@@ -1,0 +1,1 @@
+lib/graph/forest_decomposition.ml: Array Degeneracy Graph List

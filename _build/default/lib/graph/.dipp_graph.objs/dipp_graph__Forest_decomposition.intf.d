@@ -1,0 +1,1 @@
+lib/graph/forest_decomposition.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/outerplanar.ml: Array Biconnectivity Fun Graph Hashtbl Int List Option Planarity Set Traversal

@@ -1,0 +1,1 @@
+lib/graph/outerplanar.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/planarity.ml: Array Biconnectivity Fun Graph Hashtbl Int List Option Queue Rotation Set Traversal

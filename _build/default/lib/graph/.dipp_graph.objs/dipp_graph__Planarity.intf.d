@@ -1,0 +1,1 @@
+lib/graph/planarity.mli: Graph Rotation

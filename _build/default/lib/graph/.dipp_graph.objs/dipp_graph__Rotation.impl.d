@@ -1,0 +1,1 @@
+lib/graph/rotation.ml: Array Fun Graph Hashtbl Int List Rng Traversal

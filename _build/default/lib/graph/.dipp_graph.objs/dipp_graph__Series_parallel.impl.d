@@ -1,0 +1,1 @@
+lib/graph/series_parallel.ml: Array Graph Hashtbl Int List Option Queue Set Traversal

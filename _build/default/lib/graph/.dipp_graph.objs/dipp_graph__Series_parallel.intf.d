@@ -1,0 +1,1 @@
+lib/graph/series_parallel.mli: Graph

@@ -1,0 +1,227 @@
+type t = {
+  components : int list array;
+  component_edges : Graph.edge list array;
+  cut_vertex : bool array;
+}
+
+(* Iterative Tarjan–Hopcroft: DFS with an explicit stack, pushing tree and
+   back edges; a biconnected component is popped when a child's low-link
+   cannot climb above the current vertex. *)
+let compute g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Biconnectivity.compute: empty graph";
+  if not (Traversal.is_connected g) then invalid_arg "Biconnectivity.compute: disconnected";
+  let num = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let cut = Array.make n false in
+  let edge_stack = Stack.create () in
+  let comps = ref [] in
+  let counter = ref 0 in
+  let pop_component (u, v) =
+    let es = ref [] in
+    let continue = ref true in
+    while !continue do
+      let (a, b) = Stack.pop edge_stack in
+      es := Graph.normalize_edge a b :: !es;
+      if (a, b) = (u, v) then continue := false
+    done;
+    comps := !es :: !comps
+  in
+  (* Explicit-stack DFS to survive large graphs. Frame: vertex, parent, next
+     neighbor index. *)
+  let run root =
+    let stack = ref [ (root, -1, ref 0) ] in
+    num.(root) <- !counter;
+    low.(root) <- !counter;
+    incr counter;
+    let root_children = ref 0 in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, parent, idx) :: rest ->
+          let nbrs = Graph.neighbors g v in
+          if !idx < Array.length nbrs then begin
+            let w = nbrs.(!idx) in
+            incr idx;
+            if num.(w) = -1 then begin
+              Stack.push (v, w) edge_stack;
+              if v = root then incr root_children;
+              num.(w) <- !counter;
+              low.(w) <- !counter;
+              incr counter;
+              stack := (w, v, ref 0) :: !stack
+            end
+            else if w <> parent && num.(w) < num.(v) then begin
+              Stack.push (v, w) edge_stack;
+              low.(v) <- min low.(v) num.(w)
+            end
+          end
+          else begin
+            stack := rest;
+            match rest with
+            | (p, _, _) :: _ ->
+                low.(p) <- min low.(p) low.(v);
+                if low.(v) >= num.(p) then begin
+                  if p <> root then cut.(p) <- true;
+                  pop_component (p, v)
+                end
+            | [] -> ()
+          end
+    done;
+    if !root_children >= 2 then cut.(root) <- true
+  in
+  run 0;
+  let comp_edges = Array.of_list (List.rev !comps) in
+  let comp_edges =
+    if Array.length comp_edges = 0 then [| [] |] (* single node, no edges *) else comp_edges
+  in
+  let comp_nodes =
+    Array.map
+      (fun es ->
+        let module S = Set.Make (Int) in
+        let s = List.fold_left (fun s (u, v) -> S.add u (S.add v s)) S.empty es in
+        if S.is_empty s then [ 0 ] else S.elements s)
+      comp_edges
+  in
+  { components = comp_nodes; component_edges = comp_edges; cut_vertex = cut }
+
+let is_biconnected g =
+  Graph.n g <= 2
+  && Traversal.is_connected g
+  ||
+  (Graph.n g > 2 && Traversal.is_connected g
+  &&
+  let bc = compute g in
+  Array.length bc.components = 1)
+
+type rooted = {
+  bc : t;
+  root_block : int;
+  block_depth : int array;
+  separating : int array;
+  parent_block : int array;
+}
+
+let root bc ~root_block =
+  let k = Array.length bc.components in
+  let n = Array.length bc.cut_vertex in
+  (* blocks_of.(v) = blocks containing v. *)
+  let blocks_of = Array.make n [] in
+  Array.iteri (fun b nodes -> List.iter (fun v -> blocks_of.(v) <- b :: blocks_of.(v)) nodes) bc.components;
+  let block_depth = Array.make k (-1) in
+  let separating = Array.make k (-1) in
+  let parent_block = Array.make k (-1) in
+  let queue = Queue.create () in
+  block_depth.(root_block) <- 0;
+  Queue.add root_block queue;
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if bc.cut_vertex.(v) && v <> separating.(b) then
+          List.iter
+            (fun b' ->
+              if block_depth.(b') = -1 then begin
+                block_depth.(b') <- block_depth.(b) + 1;
+                separating.(b') <- v;
+                parent_block.(b') <- b;
+                Queue.add b' queue
+              end)
+            blocks_of.(v))
+      bc.components.(b)
+  done;
+  { bc; root_block; block_depth; separating; parent_block }
+
+(* Schmidt's chain decomposition (2013): DFS tree with back edges; for every
+   vertex in DFS-discovery order and every back edge from it to a
+   descendant... conventions: we root a DFS tree, orient back edges from the
+   *ancestor* side, and grow each chain from the ancestor through the back
+   edge, then up the tree via parents until hitting a visited vertex. *)
+let chain_decomposition g =
+  let n = Graph.n g in
+  if n = 0 || not (Traversal.is_connected g) then None
+  else begin
+    let parent = Array.make n (-1) in
+    let dfs_num = Array.make n (-1) in
+    let order = ref [] in
+    let counter = ref 0 in
+    (* iterative DFS *)
+    let rec dfs v =
+      dfs_num.(v) <- !counter;
+      incr counter;
+      order := v :: !order;
+      Array.iter
+        (fun w ->
+          if dfs_num.(w) = -1 then begin
+            parent.(w) <- v;
+            dfs w
+          end)
+        (Graph.neighbors g v)
+    in
+    dfs 0;
+    let order = List.rev !order in
+    let visited = Array.make n false in
+    let chains = ref [] in
+    List.iter
+      (fun v ->
+        (* back edges incident to v whose other end is a descendant of v:
+           (v, w) is a back edge iff it is not a tree edge and
+           dfs_num w > dfs_num v *)
+        Array.iter
+          (fun w ->
+            if parent.(w) <> v && parent.(v) <> w && dfs_num.(w) > dfs_num.(v) then begin
+              visited.(v) <- true;
+              let chain = ref [ v ] in
+              let cur = ref w in
+              while not visited.(!cur) do
+                visited.(!cur) <- true;
+                chain := !cur :: !chain;
+                cur := parent.(!cur)
+              done;
+              chain := !cur :: !chain;
+              chains := List.rev !chain :: !chains
+            end)
+          (Graph.neighbors g v))
+      order;
+    match List.rev !chains with [] -> None | cs -> Some cs
+  end
+
+let is_biconnected_chains g =
+  let n = Graph.n g in
+  if n < 3 then n >= 1 && Traversal.is_connected g
+  else
+    match chain_decomposition g with
+    | None -> false
+    | Some chains ->
+        (* every edge in exactly one chain or a tree edge inside a chain:
+           Schmidt: 2-edge-connected iff every edge is in some chain; add:
+           the first chain is the only cycle *)
+        let module ES = Set.Make (struct
+          type t = Graph.edge
+
+          let compare = compare
+        end) in
+        let covered = ref ES.empty in
+        List.iter
+          (fun chain ->
+            let rec walk = function
+              | a :: (b :: _ as rest) ->
+                  covered := ES.add (Graph.normalize_edge a b) !covered;
+                  walk rest
+              | _ -> ()
+            in
+            walk chain)
+          chains;
+        let all_covered = Graph.fold_edges (fun e acc -> acc && ES.mem e !covered) g true in
+        let cycles =
+          List.filter
+            (fun chain ->
+              match chain with [] | [ _ ] -> false | first :: _ -> List.nth chain (List.length chain - 1) = first)
+            chains
+        in
+        let first_is_cycle =
+          match chains with
+          | first :: _ -> List.length first >= 3 && List.hd first = List.nth first (List.length first - 1)
+          | [] -> false
+        in
+        all_covered && first_is_cycle && List.length cycles = 1

@@ -1,0 +1,18 @@
+let greedy g =
+  let n = Graph.n g in
+  let order, d = Degeneracy.ordering g in
+  let color = Array.make n (-1) in
+  let used = Array.make (d + 2) false in
+  (* Reverse peeling order: each node sees at most [d] colored neighbors. *)
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    Array.iter (fun w -> if color.(w) >= 0 && color.(w) <= d + 1 then used.(color.(w)) <- true) (Graph.neighbors g v);
+    let c = ref 0 in
+    while used.(!c) do incr c done;
+    color.(v) <- !c;
+    Array.iter (fun w -> if color.(w) >= 0 && color.(w) <= d + 1 then used.(color.(w)) <- false) (Graph.neighbors g v)
+  done;
+  color
+
+let is_proper g color =
+  Graph.fold_edges (fun (u, v) ok -> ok && color.(u) <> color.(v)) g true

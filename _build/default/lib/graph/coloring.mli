@@ -1,0 +1,11 @@
+(** Greedy proper colorings.
+
+    Used by the spanning-forest encoding (Lemma 2.3): the paper 4-colors two
+    planar minors of G; we 6-color them greedily along a degeneracy order
+    (planar => 5-degenerate => 6 colors), keeping labels O(1) bits. *)
+
+val greedy : Graph.t -> int array
+(** A proper coloring with colors [0 .. d] where [d] is the degeneracy.
+    Colors nodes in reverse peeling order. *)
+
+val is_proper : Graph.t -> int array -> bool

@@ -1,0 +1,47 @@
+let ordering g =
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let removed = Array.make n false in
+  (* Bucket queue over current degrees. *)
+  let max_deg = Array.fold_left max 0 deg in
+  let buckets = Array.make (max_deg + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+  let order = Array.make n 0 in
+  let degeneracy = ref 0 in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    (* Find the smallest non-empty bucket holding a live node.  [cursor]
+       only needs to back up by one per removal, so total work is linear. *)
+    if !cursor > 0 then decr cursor;
+    let v = ref (-1) in
+    while !v = -1 do
+      match buckets.(!cursor) with
+      | [] -> incr cursor
+      | w :: rest ->
+          buckets.(!cursor) <- rest;
+          if (not removed.(w)) && deg.(w) = !cursor then v := w
+    done;
+    let v = !v in
+    removed.(v) <- true;
+    order.(i) <- v;
+    degeneracy := max !degeneracy deg.(v);
+    Array.iter
+      (fun w ->
+        if not removed.(w) then begin
+          deg.(w) <- deg.(w) - 1;
+          buckets.(deg.(w)) <- w :: buckets.(deg.(w))
+        end)
+      (Graph.neighbors g v)
+  done;
+  (order, !degeneracy)
+
+let back_degree_bound g ~order =
+  let n = Graph.n g in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let c = Array.fold_left (fun acc w -> if pos.(w) < pos.(v) then acc + 1 else acc) 0 (Graph.neighbors g v) in
+    best := max !best c
+  done;
+  !best

@@ -1,0 +1,15 @@
+(** Degeneracy orderings.
+
+    Planar graphs are 5-degenerate; this drives both the greedy coloring
+    used by the spanning-forest encoding (Lemma 2.3, see DESIGN.md
+    substitution 1) and the bounded-arboricity forest partition behind the
+    edge-label simulation (Lemma 2.4, substitution 2). *)
+
+val ordering : Graph.t -> int array * int
+(** [(order, d)]: a peeling order (repeatedly remove a minimum-degree node)
+    as an array of node ids, and the degeneracy [d] — every node has at most
+    [d] neighbors later in the order. *)
+
+val back_degree_bound : Graph.t -> order:int array -> int
+(** Max number of neighbors a node has among nodes *earlier* in [order]
+    (i.e. when inserting nodes in order, the edges each new node brings). *)

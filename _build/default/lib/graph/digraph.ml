@@ -1,0 +1,94 @@
+module Arc_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = { n : int; out : int array array; inn : int array array; m : int }
+
+let create ~n arcs =
+  if n < 0 then invalid_arg "Digraph.create";
+  let set =
+    List.fold_left
+      (fun acc (u, v) ->
+        if u = v then invalid_arg "Digraph: self-loop";
+        if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Digraph: node out of range";
+        Arc_set.add (u, v) acc)
+      Arc_set.empty arcs
+  in
+  let outd = Array.make n 0 and ind = Array.make n 0 in
+  Arc_set.iter
+    (fun (u, v) ->
+      outd.(u) <- outd.(u) + 1;
+      ind.(v) <- ind.(v) + 1)
+    set;
+  let out = Array.init n (fun v -> Array.make outd.(v) 0) in
+  let inn = Array.init n (fun v -> Array.make ind.(v) 0) in
+  let fo = Array.make n 0 and fi = Array.make n 0 in
+  Arc_set.iter
+    (fun (u, v) ->
+      out.(u).(fo.(u)) <- v;
+      fo.(u) <- fo.(u) + 1;
+      inn.(v).(fi.(v)) <- u;
+      fi.(v) <- fi.(v) + 1)
+    set;
+  Array.iter (fun a -> Array.sort Int.compare a) out;
+  Array.iter (fun a -> Array.sort Int.compare a) inn;
+  { n; out; inn; m = Arc_set.cardinal set }
+
+let n t = t.n
+let m t = t.m
+let out_neighbors t v = t.out.(v)
+let in_neighbors t v = t.inn.(v)
+
+let mem_arc t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n then false
+  else Array.exists (fun w -> w = v) t.out.(u)
+
+let fold_arcs f t acc =
+  let acc = ref acc in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> acc := f (u, v) !acc) t.out.(u)
+  done;
+  !acc
+
+let arcs t = List.rev (fold_arcs (fun a acc -> a :: acc) t [])
+
+let underlying t = Graph.create ~n:t.n (arcs t)
+
+let orient g ~order =
+  if Array.length order <> Graph.n g then invalid_arg "Digraph.orient";
+  let arcs =
+    Graph.fold_edges
+      (fun (u, v) acc ->
+        if order.(u) = order.(v) then invalid_arg "Digraph.orient: order not injective";
+        (if order.(u) < order.(v) then (u, v) else (v, u)) :: acc)
+      g []
+  in
+  create ~n:(Graph.n g) arcs
+
+let topological_sort t =
+  (* Kahn's algorithm. *)
+  let ind = Array.init t.n (fun v -> Array.length t.inn.(v)) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) ind;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    Array.iter
+      (fun w ->
+        ind.(w) <- ind.(w) - 1;
+        if ind.(w) = 0 then Queue.add w queue)
+      t.out.(v)
+  done;
+  if !seen = t.n then Some (List.rev !order) else None
+
+let is_acyclic t = Option.is_some (topological_sort t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>digraph(n=%d, m=%d:" t.n t.m;
+  List.iter (fun (u, v) -> Format.fprintf ppf "@ %d->%d" u v) (arcs t);
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,77 @@
+type t = { forests : int; parent : int array array }
+
+let compute g =
+  let n = Graph.n g in
+  let order, d = Degeneracy.ordering g in
+  let k = max d 1 in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let parent = Array.init k (fun _ -> Array.make n (-1)) in
+  (* Insert in reverse peeling order; node [v]'s neighbors already present
+     are those with larger peeling position. Assign v's i-th such edge to
+     forest i, with v as the child. *)
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let f = ref 0 in
+    Array.iter
+      (fun w ->
+        if pos.(w) > pos.(v) then begin
+          parent.(!f).(v) <- w;
+          incr f
+        end)
+      (Graph.neighbors g v)
+  done;
+  { forests = k; parent }
+
+let forest_of_edge t u v =
+  let rec go f =
+    if f >= t.forests then None
+    else if t.parent.(f).(u) = v then Some (f, u)
+    else if t.parent.(f).(v) = u then Some (f, v)
+    else go (f + 1)
+  in
+  go 0
+
+let is_valid g t =
+  let n = Graph.n g in
+  (* Each edge in exactly one forest. *)
+  let covered =
+    Graph.fold_edges
+      (fun (u, v) ok ->
+        ok
+        &&
+        let count = ref 0 in
+        for f = 0 to t.forests - 1 do
+          if t.parent.(f).(u) = v then incr count;
+          if t.parent.(f).(v) = u then incr count
+        done;
+        !count = 1)
+      g true
+  in
+  (* No parent edge outside the graph, and each forest acyclic: following
+     parents must terminate.  Parents are "later in insertion", so acyclicity
+     holds structurally; we verify it anyway. *)
+  let acyclic = ref true in
+  for f = 0 to t.forests - 1 do
+    let state = Array.make n 0 in
+    (* 0 unvisited, 1 in progress, 2 done *)
+    for v = 0 to n - 1 do
+      if state.(v) = 0 then begin
+        let rec climb u trail =
+          if state.(u) = 1 then acyclic := false
+          else if state.(u) = 0 then begin
+            state.(u) <- 1;
+            let p = t.parent.(f).(u) in
+            if p >= 0 then begin
+              if not (Graph.mem_edge g u p) then acyclic := false;
+              climb p (u :: trail)
+            end
+            else List.iter (fun w -> state.(w) <- 2) (u :: trail)
+          end
+          else List.iter (fun w -> state.(w) <- 2) trail
+        in
+        climb v []
+      end
+    done
+  done;
+  covered && !acyclic

@@ -1,0 +1,27 @@
+(** Partitioning the edge set into few rooted forests.
+
+    Lemma 2.4 needs every edge assigned to a forest so that its "accountable"
+    endpoint (the child) carries the edge label in a per-forest field of its
+    node label.  We insert nodes in reverse degeneracy order; each new node
+    brings at most [d] edges to already-present nodes, and each such edge goes
+    into its own forest with the new node as the child — so the new node is a
+    leaf of each forest at insertion time and no cycle ever forms.  For
+    planar graphs [d <= 5], hence at most 5 forests (the paper's optimal is 3
+    via arboricity; the constant does not affect any bound — see DESIGN.md). *)
+
+type t = {
+  forests : int;  (** Number of forests used. *)
+  parent : int array array;
+      (** [parent.(f).(v)] is v's parent in forest [f], or [-1] if v is a
+          root of (or isolated in) that forest. *)
+}
+
+val compute : Graph.t -> t
+
+val forest_of_edge : t -> int -> int -> (int * int) option
+(** [forest_of_edge t u v] is [Some (f, child)] where the edge lives in
+    forest [f] with [child] the accountable endpoint, or [None] if [(u,v)]
+    is in no forest (i.e. not an edge). *)
+
+val is_valid : Graph.t -> t -> bool
+(** Every edge in exactly one forest; every forest acyclic. *)

@@ -1,0 +1,190 @@
+type edge = int * int
+
+type t = { n : int; adj : int array array; m : int }
+
+let normalize_edge u v =
+  if u = v then invalid_arg "Graph: self-loop";
+  if u < v then (u, v) else (v, u)
+
+module Edge_set = Set.Make (struct
+  type t = edge
+
+  let compare = compare
+end)
+
+let dedup_edges n es =
+  List.fold_left
+    (fun acc (u, v) ->
+      if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Graph: node out of range";
+      Edge_set.add (normalize_edge u v) acc)
+    Edge_set.empty es
+
+let of_edge_set n set =
+  let deg = Array.make n 0 in
+  Edge_set.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    set;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  (* Iterating the set in order fills each adjacency array sorted. *)
+  Edge_set.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    set;
+  Array.iter (fun a -> Array.sort Int.compare a) adj;
+  { n; adj; m = Edge_set.cardinal set }
+
+let create ~n es =
+  if n < 0 then invalid_arg "Graph.create";
+  of_edge_set n (dedup_edges n es)
+
+let n t = t.n
+let m t = t.m
+let neighbors t v = t.adj.(v)
+let degree t v = Array.length t.adj.(v)
+
+let max_degree t =
+  let d = ref 0 in
+  Array.iter (fun a -> d := max !d (Array.length a)) t.adj;
+  !d
+
+let mem_edge t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n || u = v then false
+  else
+    let a = t.adj.(u) in
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = v then true else if a.(mid) < v then search (mid + 1) hi else search lo mid
+    in
+    search 0 (Array.length a)
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun v -> if u < v then acc := f (u, v) !acc) t.adj.(u)
+  done;
+  !acc
+
+let iter_edges f t = fold_edges (fun e () -> f e) t ()
+
+let edges t = List.rev (fold_edges (fun e acc -> e :: acc) t [])
+
+let add_edges t es = create ~n:t.n (es @ edges t)
+
+let remove_edges t es =
+  let banned = List.fold_left (fun s (u, v) -> Edge_set.add (normalize_edge u v) s) Edge_set.empty es in
+  create ~n:t.n (List.filter (fun e -> not (Edge_set.mem e banned)) (edges t))
+
+let induced t nodes =
+  let nodes = Array.of_list nodes in
+  let k = Array.length nodes in
+  let back = Array.make t.n (-1) in
+  Array.iteri
+    (fun i v ->
+      if back.(v) <> -1 then invalid_arg "Graph.induced: duplicate node";
+      back.(v) <- i)
+    nodes;
+  let es =
+    fold_edges
+      (fun (u, v) acc ->
+        if back.(u) >= 0 && back.(v) >= 0 then (back.(u), back.(v)) :: acc else acc)
+      t []
+  in
+  Array.iter (fun v -> back.(v) <- -1) nodes;
+  (create ~n:k es, nodes)
+
+let relabel t ~perm =
+  if Array.length perm <> t.n then invalid_arg "Graph.relabel";
+  let seen = Array.make t.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= t.n || seen.(p) then invalid_arg "Graph.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  create ~n:t.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges t))
+
+let union_disjoint ts =
+  let offsets = Array.make (List.length ts) 0 in
+  let total =
+    List.fold_left
+      (fun (i, off) g ->
+        offsets.(i) <- off;
+        (i + 1, off + g.n))
+      (0, 0) ts
+    |> snd
+  in
+  let es =
+    List.concat (List.mapi (fun i g -> List.map (fun (u, v) -> (u + offsets.(i), v + offsets.(i))) (edges g)) ts)
+  in
+  let maps = List.mapi (fun i g -> Array.init g.n (fun v -> v + offsets.(i))) ts in
+  (create ~n:total es, Array.of_list maps)
+
+let equal a b = a.n = b.n && Edge_set.equal (dedup_edges a.n (edges a)) (dedup_edges b.n (edges b))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d:" t.n t.m;
+  iter_edges (fun (u, v) -> Format.fprintf ppf "@ %d-%d" u v) t;
+  Format.fprintf ppf ")@]"
+
+let path_graph n = create ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  if n < 3 then invalid_arg "Graph.cycle_graph";
+  create ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  create ~n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  create ~n:(a + b) !es
+
+let star n = create ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := (id r c, id r (c + 1)) :: !es;
+      if r + 1 < rows then es := (id r c, id (r + 1) c) :: !es
+    done
+  done;
+  create ~n:(rows * cols) !es
+
+let subdivide t ~times =
+  if times < 0 then invalid_arg "Graph.subdivide";
+  if times = 0 then t
+  else begin
+    let next = ref t.n in
+    let es = ref [] in
+    iter_edges
+      (fun (u, v) ->
+        let prev = ref u in
+        for _ = 1 to times do
+          es := (!prev, !next) :: !es;
+          prev := !next;
+          incr next
+        done;
+        es := (!prev, v) :: !es)
+      t;
+    create ~n:!next !es
+  end

@@ -1,0 +1,70 @@
+let parse_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let edges = ref [] in
+  let pinned_n = ref None in
+  let max_id = ref (-1) in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+      let parts = List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)) in
+      match parts with
+      | [] -> ()
+      | [ "n"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c >= 0 -> pinned_n := Some c
+          | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: bad node count" lineno))
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some u, Some v when u >= 0 && v >= 0 ->
+              max_id := max !max_id (max u v);
+              edges := (u, v) :: !edges
+          | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: expected two node ids" lineno))
+      | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: expected 'u v'" lineno))
+    lines;
+  let n = match !pinned_n with Some c -> c | None -> !max_id + 1 in
+  Graph.create ~n (List.rev !edges)
+
+let to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  Graph.iter_edges (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) g;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_edge_list text
+
+let write_file path g =
+  let oc = open_out path in
+  output_string oc (to_edge_list g);
+  close_out oc
+
+let to_dot ?(name = "g") ?(highlight = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges
+    (fun (u, v) ->
+      let attr = if List.mem (u, v) highlight then " [color=red, penwidth=2]" else "" in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attr))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let rotation_to_dot rot =
+  let g = rot.Rotation.graph in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph embedding {\n  node [shape=circle];\n";
+  for v = 0 to Graph.n g - 1 do
+    let order = String.concat "," (List.map string_of_int (Array.to_list rot.Rotation.rot.(v))) in
+    Buffer.add_string buf (Printf.sprintf "  %d [xlabel=\"(%s)\"];\n" v order)
+  done;
+  Graph.iter_edges (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

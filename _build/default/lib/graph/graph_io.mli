@@ -1,0 +1,23 @@
+(** Plain-text graph exchange.
+
+    Edge-list format: one edge per line as two whitespace-separated node
+    ids; blank lines and [#] comments ignored; an optional leading line
+    [n <count>] pins the node count (otherwise 1 + max id).  DOT output is
+    provided for visual inspection of instances and counterexamples. *)
+
+val parse_edge_list : string -> Graph.t
+(** Raises [Invalid_argument] with a line-numbered message on malformed
+    input. *)
+
+val to_edge_list : Graph.t -> string
+
+val read_file : string -> Graph.t
+
+val write_file : string -> Graph.t -> unit
+
+val to_dot : ?name:string -> ?highlight:Graph.edge list -> Graph.t -> string
+(** Undirected DOT; [highlight] edges are drawn bold red (used for
+    counterexample edges, e.g. the Theorem 1.8 fooling arc). *)
+
+val rotation_to_dot : Rotation.t -> string
+(** DOT with rotation orders recorded as edge port annotations. *)

@@ -1,0 +1,302 @@
+module Int_set = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* DMP on a biconnected graph with >= 3 nodes.                         *)
+(* ------------------------------------------------------------------ *)
+
+type face = { verts : int array; vset : Int_set.t }
+
+let mk_face verts = { verts; vset = Array.fold_left (fun s v -> Int_set.add v s) Int_set.empty verts }
+
+let find_cycle g =
+  (* DFS until a back edge closes a cycle; biconnected with n >= 3 always
+     has one. *)
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let state = Array.make n 0 in
+  let exception Found of int list in
+  try
+    let rec dfs v =
+      state.(v) <- 1;
+      Array.iter
+        (fun w ->
+          if state.(w) = 0 then begin
+            parent.(w) <- v;
+            dfs w
+          end
+          else if state.(w) = 1 && w <> parent.(v) then begin
+            (* cycle w .. v *)
+            let rec climb u acc = if u = w then u :: acc else climb parent.(u) (u :: acc) in
+            raise (Found (climb v []))
+          end)
+        (Graph.neighbors g v);
+      state.(v) <- 2
+    in
+    dfs 0;
+    invalid_arg "Planarity.find_cycle: acyclic biconnected graph"
+  with Found c -> c
+
+type fragment =
+  | Chord of int * int
+  | Comp of { nodes : int list; attachments : int list }
+
+let fragments g embedded_vertex embedded_edge =
+  let n = Graph.n g in
+  let frags = ref [] in
+  (* Chords between embedded vertices. *)
+  Graph.iter_edges
+    (fun (u, v) ->
+      if embedded_vertex.(u) && embedded_vertex.(v) && not (embedded_edge u v) then
+        frags := Chord (u, v) :: !frags)
+    g;
+  (* Components of G minus embedded vertices. *)
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for s = 0 to n - 1 do
+    if (not embedded_vertex.(s)) && comp.(s) = -1 then begin
+      let id = !next in
+      incr next;
+      let nodes = ref [] in
+      let attach = ref Int_set.empty in
+      let queue = Queue.create () in
+      comp.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        nodes := v :: !nodes;
+        Array.iter
+          (fun w ->
+            if embedded_vertex.(w) then attach := Int_set.add w !attach
+            else if comp.(w) = -1 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+          (Graph.neighbors g v)
+      done;
+      frags := Comp { nodes = !nodes; attachments = Int_set.elements !attach } :: !frags
+    end
+  done;
+  !frags
+
+let fragment_attachments = function
+  | Chord (u, v) -> [ u; v ]
+  | Comp { attachments; _ } -> attachments
+
+(* Path through the fragment between two attachments, interior inside the
+   fragment. *)
+let fragment_path g fragment =
+  match fragment with
+  | Chord (u, v) -> [ u; v ]
+  | Comp { nodes; attachments } -> (
+      match attachments with
+      | a :: b :: _ ->
+          let allowed = List.fold_left (fun s v -> Int_set.add v s) Int_set.empty nodes in
+          let n = Graph.n g in
+          let prev = Array.make n (-2) in
+          let queue = Queue.create () in
+          prev.(a) <- -1;
+          (* First hop must enter the fragment. *)
+          Array.iter
+            (fun w ->
+              if Int_set.mem w allowed && prev.(w) = -2 then begin
+                prev.(w) <- a;
+                Queue.add w queue
+              end)
+            (Graph.neighbors g a);
+          let target = ref (-1) in
+          while !target = -1 && not (Queue.is_empty queue) do
+            let v = Queue.pop queue in
+            if Graph.mem_edge g v b then target := v
+            else
+              Array.iter
+                (fun w ->
+                  if Int_set.mem w allowed && prev.(w) = -2 then begin
+                    prev.(w) <- v;
+                    Queue.add w queue
+                  end)
+                (Graph.neighbors g v)
+          done;
+          if !target = -1 then invalid_arg "Planarity.fragment_path: no path (graph not biconnected?)";
+          let rec build v acc = if v = -1 then acc else build prev.(v) (v :: acc) in
+          build !target [ b ]
+      | _ -> invalid_arg "Planarity.fragment_path: fragment with < 2 attachments")
+
+let admissible faces frag =
+  let att = fragment_attachments frag in
+  List.filter (fun f -> List.for_all (fun v -> Int_set.mem v f.vset) att) faces
+
+(* Split face [f] by embedding [path] (endpoints on the face). *)
+let split_face f path =
+  let verts = f.verts in
+  let r = Array.length verts in
+  let a = List.hd path in
+  let b = List.nth path (List.length path - 1) in
+  let idx x =
+    let rec go i = if i >= r then invalid_arg "split_face: endpoint not on face" else if verts.(i) = x then i else go (i + 1) in
+    go 0
+  in
+  let ia = idx a and ib = idx b in
+  let interior = List.tl (List.rev (List.tl (List.rev path))) in
+  (* Walk a -> ... -> b along the face. *)
+  let seg_ab =
+    let len = ((ib - ia + r) mod r) + 1 in
+    List.init len (fun i -> verts.((ia + i) mod r))
+  in
+  let seg_ba =
+    let len = ((ia - ib + r) mod r) + 1 in
+    List.init len (fun i -> verts.((ib + i) mod r))
+  in
+  (* f1: a ..face.. b, then path interior reversed (b -> a direction).
+     f2: b ..face.. a, then path interior forward (a -> b direction).
+     Both walks keep the original orientation on the face segment. *)
+  let f1 = Array.of_list (List.filteri (fun i _ -> i < List.length seg_ab - 0) seg_ab @ List.rev interior) in
+  let f2 = Array.of_list (seg_ba @ interior) in
+  (* Drop the duplicated closing vertex: seg_ab ends at b and the cycle
+     closes back to a after the interior, so the arrays above are already
+     proper vertex cycles except that seg includes both a and b. *)
+  (mk_face f1, mk_face f2)
+
+let embed_biconnected g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  if n >= 3 && m > (3 * n) - 6 then None
+  else begin
+    let cycle = find_cycle g in
+    let cyc = Array.of_list cycle in
+    let embedded_vertex = Array.make n false in
+    let module Edge_tbl = Hashtbl in
+    let emb_edges = Edge_tbl.create (2 * m) in
+    let add_edge u v = Edge_tbl.replace emb_edges (Graph.normalize_edge u v) () in
+    let has_edge u v = Edge_tbl.mem emb_edges (Graph.normalize_edge u v) in
+    Array.iter (fun v -> embedded_vertex.(v) <- true) cyc;
+    let k = Array.length cyc in
+    for i = 0 to k - 1 do
+      add_edge cyc.(i) cyc.((i + 1) mod k)
+    done;
+    let faces = ref [ mk_face cyc; mk_face (Array.init k (fun i -> cyc.(k - 1 - i))) ] in
+    let edges_left = ref (m - k) in
+    let ok = ref true in
+    while !ok && !edges_left > 0 do
+      let frags = fragments g embedded_vertex has_edge in
+      (* Pick a fragment with exactly one admissible face if any; otherwise
+         any fragment; zero admissible faces anywhere => nonplanar. *)
+      let scored = List.map (fun fr -> (fr, admissible !faces fr)) frags in
+      if List.exists (fun (_, adm) -> adm = []) scored then ok := false
+      else begin
+        let fr, adm =
+          match List.find_opt (fun (_, adm) -> List.length adm = 1) scored with
+          | Some x -> x
+          | None -> List.hd scored
+        in
+        let face = List.hd adm in
+        let path = fragment_path g fr in
+        let f1, f2 = split_face face path in
+        faces := f1 :: f2 :: List.filter (fun f -> f != face) !faces;
+        let rec mark = function
+          | u :: (v :: _ as rest) ->
+              embedded_vertex.(u) <- true;
+              embedded_vertex.(v) <- true;
+              if not (has_edge u v) then begin
+                add_edge u v;
+                decr edges_left
+              end;
+              mark rest
+          | _ -> ()
+        in
+        mark path
+      end
+    done;
+    if not !ok then None
+    else begin
+      (* Reconstruct the rotation system from the face walks: in the face
+         tracing convention of {!Rotation.faces}, the dart after (u, v) is
+         (v, next_around v u); our face walks therefore define
+         next_around v u = w for consecutive darts (u,v),(v,w). *)
+      let succ = Array.init n (fun _ -> Hashtbl.create 4) in
+      List.iter
+        (fun f ->
+          let verts = f.verts in
+          let r = Array.length verts in
+          for i = 0 to r - 1 do
+            let u = verts.(i) and v = verts.((i + 1) mod r) and w = verts.((i + 2) mod r) in
+            Hashtbl.replace succ.(v) u w
+          done)
+        !faces;
+      let rot =
+        Array.init n (fun v ->
+            let nbrs = Graph.neighbors g v in
+            let deg = Array.length nbrs in
+            let out = Array.make deg 0 in
+            if deg > 0 then begin
+              out.(0) <- nbrs.(0);
+              for i = 1 to deg - 1 do
+                out.(i) <- Hashtbl.find succ.(v) out.(i - 1)
+              done
+            end;
+            out)
+      in
+      Some (Rotation.create g rot)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* General graphs: per component, per block, then merge.               *)
+(* ------------------------------------------------------------------ *)
+
+let embed_connected g =
+  let n = Graph.n g in
+  if n = 0 then Some (Rotation.default g)
+  else if Graph.m g = 0 then Some (Rotation.default g)
+  else begin
+    let bc = Biconnectivity.compute g in
+    let rotations = Array.init n (fun _ -> []) in
+    let failed = ref false in
+    Array.iter
+      (fun es ->
+        if not !failed then begin
+          let module S = Set.Make (Int) in
+          let nodes = S.elements (List.fold_left (fun s (u, v) -> S.add u (S.add v s)) S.empty es) in
+          match nodes with
+          | [] | [ _ ] -> ()
+          | [ u; v ] ->
+              rotations.(u) <- [ v ] :: rotations.(u);
+              rotations.(v) <- [ u ] :: rotations.(v)
+          | _ ->
+              let sub, back = Graph.induced g nodes in
+              (match embed_biconnected sub with
+              | None -> failed := true
+              | Some rot ->
+                  Array.iteri
+                    (fun local orig ->
+                      let named = Array.to_list (Array.map (fun w -> back.(w)) rot.Rotation.rot.(local)) in
+                      rotations.(orig) <- named :: rotations.(orig))
+                    back)
+        end)
+      bc.Biconnectivity.component_edges;
+    if !failed then None
+    else
+      let rot = Array.init n (fun v -> Array.of_list (List.concat rotations.(v))) in
+      Some (Rotation.create g rot)
+  end
+
+let embed g =
+  let n = Graph.n g in
+  if n = 0 then Some (Rotation.default g)
+  else begin
+    let comp, k = Traversal.components g in
+    let rot = Array.init n (fun _ -> [||]) in
+    let failed = ref false in
+    for c = 0 to k - 1 do
+      if not !failed then begin
+        let nodes = List.filter (fun v -> comp.(v) = c) (List.init n Fun.id) in
+        let sub, back = Graph.induced g nodes in
+        match embed_connected sub with
+        | None -> failed := true
+        | Some r ->
+            Array.iteri (fun local orig -> rot.(orig) <- Array.map (fun w -> back.(w)) r.Rotation.rot.(local)) back
+      end
+    done;
+    if !failed then None else Some (Rotation.create g rot)
+  end
+
+let is_planar g = Option.is_some (embed g)

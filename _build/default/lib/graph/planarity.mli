@@ -1,0 +1,18 @@
+(** Planarity testing with embedding extraction.
+
+    The Demoucron–Malgrange–Pertuiset (DMP) vertex/path-addition algorithm:
+    grow a planar subgraph face by face, embedding one fragment path per
+    step, always preferring fragments with a unique admissible face.  O(n^2)
+    — ample for the protocol sizes — and constructive: on success it returns
+    a rotation system, which the honest prover of Theorem 1.5 hands to the
+    embedded-planarity protocol.
+
+    Blocks are embedded independently and merged at cut vertices (inserting
+    one block's rotation into a face corner of the other), and components are
+    embedded independently. *)
+
+val is_planar : Graph.t -> bool
+
+val embed : Graph.t -> Rotation.t option
+(** [Some rot] with [Rotation.is_planar_embedding rot] iff the graph is
+    planar. *)

@@ -1,0 +1,56 @@
+(** Combinatorial embeddings (rotation systems).
+
+    A rotation system assigns every node a cyclic (clockwise) order of its
+    incident edges — exactly the distributed input of the planar-embedding
+    task (paper §7).  Face tracing plus Euler's formula decides whether the
+    rotation system is a planar embedding: a connected graph with rotation
+    system has genus [g] where [n - m + f = 2 - 2g], so the embedding is
+    planar iff [n - m + f = 2] (more generally [1 + c] faces-adjusted for
+    [c] components). *)
+
+type t = {
+  graph : Graph.t;
+  rot : int array array;
+      (** [rot.(v)] lists v's neighbors in clockwise order; must be a
+          permutation of [Graph.neighbors graph v]. *)
+}
+
+val create : Graph.t -> int array array -> t
+(** Validates that each [rot.(v)] is a permutation of v's neighbors. *)
+
+val default : Graph.t -> t
+(** Rotation = sorted neighbor order (an arbitrary, usually non-planar,
+    embedding). *)
+
+val next_around : t -> v:int -> after:int -> int
+(** The neighbor following [after] in the clockwise order at [v]. *)
+
+val prev_around : t -> v:int -> after:int -> int
+
+val faces : t -> (int * int) list list
+(** The face walks: every dart (directed edge) appears in exactly one walk.
+    The walk following dart [(u, v)] continues with [(v, w)] where [w] is
+    the successor of [u] in the clockwise order at [v] (face tracing to the
+    left of each dart). *)
+
+val face_count : t -> int
+
+val euler_genus : t -> int
+(** [2 - c - n + m - f + c] rearranged: the Euler genus [2c - (n - m + f)
+    + ... ]; 0 iff the embedding is planar (spherical). *)
+
+val is_planar_embedding : t -> bool
+(** True iff the rotation system embeds the graph in the plane, i.e. Euler
+    genus 0. *)
+
+val dual : t -> Graph.t
+(** The dual multigraph collapsed to a simple graph: one node per face, an
+    edge between two faces that share a primal edge (self-loops from
+    bridges and parallel duals are collapsed).  For a planar embedding of a
+    connected graph the dual is connected and itself planar. *)
+
+val corrupt_swap : t -> Rng.t -> t option
+(** Swap two entries in the rotation of a random node of degree >= 3 whose
+    swap changes the face structure — used to build no-instances for the
+    embedded-planarity experiments.  [None] if no eligible node exists or
+    the perturbation stayed planar. *)

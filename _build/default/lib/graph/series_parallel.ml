@@ -1,0 +1,265 @@
+type sp_tree =
+  | Edge of int * int
+  | Series of sp_tree * sp_tree
+  | Parallel of sp_tree * sp_tree
+
+let rec terminals = function
+  | Edge (u, v) -> (u, v)
+  | Series (a, b) -> (fst (terminals a), snd (terminals b))
+  | Parallel (a, _) -> terminals a
+
+let rec edges_of_sp = function
+  | Edge (u, v) -> [ Graph.normalize_edge u v ]
+  | Series (a, b) | Parallel (a, b) -> edges_of_sp a @ edges_of_sp b
+
+let graph_of_sp ~n t =
+  let es = edges_of_sp t in
+  let sorted = List.sort compare es in
+  let rec dup = function a :: (b :: _ as r) -> a = b || dup r | _ -> false in
+  if dup sorted then invalid_arg "Series_parallel.graph_of_sp: repeated edge";
+  Graph.create ~n es
+
+let rec flip t =
+  (* Reverse the terminal orientation of an SP tree. *)
+  match t with
+  | Edge (u, v) -> Edge (v, u)
+  | Series (a, b) -> Series (flip b, flip a)
+  | Parallel (a, b) -> Parallel (flip a, flip b)
+
+(* ------------------------------------------------------------------ *)
+(* Recognition: series/parallel reduction on a multigraph shadow.      *)
+(* ------------------------------------------------------------------ *)
+
+type medge = { mutable alive : bool; mutable a : int; mutable b : int; mutable tree : sp_tree }
+
+let decompose g =
+  let n = Graph.n g in
+  if n < 2 || not (Traversal.is_connected g) then None
+  else begin
+    let edges =
+      Array.of_list (List.map (fun (u, v) -> { alive = true; a = u; b = v; tree = Edge (u, v) }) (Graph.edges g))
+    in
+    let incident = Array.make n [] in
+    Array.iteri
+      (fun i e ->
+        incident.(e.a) <- i :: incident.(e.a);
+        incident.(e.b) <- i :: incident.(e.b))
+      edges;
+    let touches i v = edges.(i).a = v || edges.(i).b = v in
+    let live_incident v =
+      List.sort_uniq Int.compare (List.filter (fun i -> edges.(i).alive && touches i v) incident.(v))
+    in
+    let alive_count = ref (Array.length edges) in
+    let other e v = if e.a = v then e.b else e.a in
+    (* Alternate parallel-merge sweeps and degree-2 series sweeps until a
+       fixpoint.  Instance sizes are protocol-experiment sizes; the simple
+       quadratic loop is fine. *)
+    let progress = ref true in
+    while !alive_count > 1 && !progress do
+      progress := false;
+      for v = 0 to n - 1 do
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun i ->
+            let e = edges.(i) in
+            if e.alive then begin
+              let w = other e v in
+              if v < w then begin
+                match Hashtbl.find_opt tbl w with
+                | Some j ->
+                    let f = edges.(j) in
+                    let et = if e.a = f.a then e.tree else flip e.tree in
+                    f.tree <- Parallel (f.tree, et);
+                    e.alive <- false;
+                    decr alive_count;
+                    progress := true
+                | None -> Hashtbl.add tbl w i
+              end
+            end)
+          (live_incident v)
+      done;
+      for v = 0 to n - 1 do
+        if !alive_count > 1 then
+          match live_incident v with
+          | [ i; j ] when i <> j ->
+              let e = edges.(i) and f = edges.(j) in
+              let x = other e v and y = other f v in
+              if x <> y then begin
+                (* Merge into edge e running x -> v -> y. *)
+                let t1 = if e.a = x then e.tree else flip e.tree in
+                let t2 = if f.a = v then f.tree else flip f.tree in
+                e.a <- x;
+                e.b <- y;
+                e.tree <- Series (t1, t2);
+                f.alive <- false;
+                decr alive_count;
+                incident.(x) <- i :: incident.(x);
+                incident.(y) <- i :: incident.(y);
+                progress := true
+              end
+          | _ -> ()
+      done
+    done;
+    if !alive_count = 1 then Some (Array.to_list edges |> List.find (fun e -> e.alive)).tree else None
+  end
+
+let is_series_parallel g = Option.is_some (decompose g)
+
+let is_treewidth_le_2 g =
+  let n = Graph.n g in
+  let module S = Set.Make (Int) in
+  let adj = Array.make n S.empty in
+  Graph.iter_edges
+    (fun (u, v) ->
+      adj.(u) <- S.add v adj.(u);
+      adj.(v) <- S.add u adj.(v))
+    g;
+  let alive = Array.make n true in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if S.cardinal adj.(v) <= 2 then Queue.add v queue
+  done;
+  let remaining = ref n in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if alive.(v) && S.cardinal adj.(v) <= 2 then begin
+      alive.(v) <- false;
+      decr remaining;
+      let nbrs = S.elements adj.(v) in
+      List.iter (fun w -> adj.(w) <- S.remove v adj.(w)) nbrs;
+      (match nbrs with
+      | [ a; b ] ->
+          adj.(a) <- S.add b adj.(a);
+          adj.(b) <- S.add a adj.(b)
+      | _ -> ());
+      List.iter (fun w -> if alive.(w) && S.cardinal adj.(w) <= 2 then Queue.add w queue) nbrs
+    end
+  done;
+  !remaining = 0
+
+(* ------------------------------------------------------------------ *)
+(* Nested ear decompositions (Eppstein; paper Lemma 8.1).              *)
+(* ------------------------------------------------------------------ *)
+
+let rec ears_of_sp_aux t =
+  (* Returns (first_ear, later_ears): the first ear is a terminal-to-terminal
+     path; series concatenates first ears, parallel demotes the second
+     branch's first ear to a later ear spanning the shared terminals. *)
+  match t with
+  | Edge (u, v) -> ([ u; v ], [])
+  | Series (a, b) ->
+      let f1, r1 = ears_of_sp_aux a and f2, r2 = ears_of_sp_aux b in
+      (f1 @ List.tl f2, r1 @ r2)
+  | Parallel (a, b) ->
+      let f1, r1 = ears_of_sp_aux a and f2, r2 = ears_of_sp_aux b in
+      (f1, (f2 :: r2) @ r1)
+
+let ears_of_sp t =
+  let first, rest = ears_of_sp_aux t in
+  first :: rest
+
+let check_nested_ears g ears =
+  match ears with
+  | [] -> Graph.m g = 0
+  | _ ->
+      let n = Graph.n g in
+      let ears_arr = Array.of_list (List.map Array.of_list ears) in
+      let k = Array.length ears_arr in
+      let module ES = Set.Make (struct
+        type t = Graph.edge
+
+        let compare = compare
+      end) in
+      (* Structural: each ear a simple path along edges; edge partition. *)
+      let covered = ref ES.empty in
+      let structural = ref true in
+      Array.iter
+        (fun ear ->
+          let len = Array.length ear in
+          if len < 2 then structural := false
+          else begin
+            if List.length (List.sort_uniq Int.compare (Array.to_list ear)) <> len then structural := false;
+            for i = 0 to len - 2 do
+              let e = Graph.normalize_edge ear.(i) ear.(i + 1) in
+              if (not (Graph.mem_edge g ear.(i) ear.(i + 1))) || ES.mem e !covered then structural := false
+              else covered := ES.add e !covered
+            done
+          end)
+        ears_arr;
+      if (not !structural) || ES.cardinal !covered <> Graph.m g then false
+      else begin
+        (* membership.(v): (ear index, position) pairs, all ears v lies on. *)
+        let membership = Array.make n [] in
+        Array.iteri
+          (fun idx ear -> Array.iteri (fun pos v -> membership.(v) <- (idx, pos) :: membership.(v)) ear)
+          ears_arr;
+        (* Condition 2: interiors fresh — interior nodes of ear j must not
+           appear on any ear i < j. *)
+        let cond2 = ref true in
+        Array.iteri
+          (fun idx ear ->
+            for p = 1 to Array.length ear - 2 do
+              List.iter (fun (i, _) -> if i < idx then cond2 := false) membership.(ear.(p))
+            done)
+          ears_arr;
+        if not !cond2 then false
+        else begin
+          (* Condition 1: each non-first ear's endpoints lie on a common
+             earlier ear; host = the deepest such ear. *)
+          let host = Array.make k (-1) in
+          let interval = Array.make k (0, 0) in
+          let cond1 = ref true in
+          for idx = 1 to k - 1 do
+            let ear = ears_arr.(idx) in
+            let a = ear.(0) and b = ear.(Array.length ear - 1) in
+            let common =
+              List.filter_map
+                (fun (i, pa) ->
+                  if i >= idx then None
+                  else
+                    List.find_map (fun (i', pb) -> if i' = i then Some (i, pa, pb) else None) membership.(b))
+                membership.(a)
+            in
+            match List.sort (fun (i, _, _) (j, _, _) -> Int.compare j i) common with
+            | (h, pa, pb) :: _ ->
+                host.(idx) <- h;
+                interval.(idx) <- (min pa pb, max pa pb)
+            | [] -> cond1 := false
+          done;
+          if not !cond1 then false
+          else begin
+            (* Condition 3: per host, attached intervals are non-crossing. *)
+            let by_host = Hashtbl.create 8 in
+            for idx = 1 to k - 1 do
+              let h = host.(idx) in
+              Hashtbl.replace by_host h (interval.(idx) :: Option.value ~default:[] (Hashtbl.find_opt by_host h))
+            done;
+            Hashtbl.fold
+              (fun _ intervals acc ->
+                acc
+                &&
+                let sorted =
+                  List.sort
+                    (fun (l1, r1) (l2, r2) -> if l1 <> l2 then Int.compare l1 l2 else Int.compare r2 r1)
+                    intervals
+                in
+                let stack = ref [] in
+                let ok = ref true in
+                List.iter
+                  (fun (l, r) ->
+                    let rec close () =
+                      match !stack with
+                      | r' :: rest when r' <= l ->
+                          stack := rest;
+                          close ()
+                      | _ -> ()
+                    in
+                    close ();
+                    (match !stack with r' :: _ when r > r' -> ok := false | _ -> ());
+                    stack := r :: !stack)
+                  sorted;
+                !ok)
+              by_host true
+          end
+        end
+      end

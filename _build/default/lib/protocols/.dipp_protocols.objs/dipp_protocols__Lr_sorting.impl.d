@@ -1,0 +1,1 @@
+lib/protocols/lr_sorting.ml: Array Bits Dip Fp Fun Graph Hashtbl Int List Map Option Prime Rng

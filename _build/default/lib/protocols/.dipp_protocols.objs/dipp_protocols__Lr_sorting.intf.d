@@ -1,0 +1,1 @@
+lib/protocols/lr_sorting.mli: Bits Dip Fp Graph

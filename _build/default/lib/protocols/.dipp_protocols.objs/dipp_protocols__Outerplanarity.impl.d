@@ -1,0 +1,1 @@
+lib/protocols/outerplanarity.ml: Array Biconnectivity Bits Dip Forest_encoding Fp Fun Graph List Lr_sorting Option Outerplanar Path_outerplanarity Rng Spanning_tree_verify Traversal

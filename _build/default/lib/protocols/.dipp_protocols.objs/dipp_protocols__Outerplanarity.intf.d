@@ -1,0 +1,1 @@
+lib/protocols/outerplanarity.mli: Dip Graph Path_outerplanarity

@@ -1,0 +1,1 @@
+lib/protocols/path_outerplanarity.ml: Array Bits Dip Edge_labels Forest_encoding Fp Fun Graph Hashtbl Int List Lr_sorting Map Option Outerplanar Rng Spanning_tree_verify String Traversal

@@ -1,0 +1,1 @@
+lib/protocols/path_outerplanarity.mli: Dip Graph Lr_sorting

@@ -1,0 +1,1 @@
+lib/protocols/planar_embedding.ml: Array Dip Forest_encoding Fp Fun Graph Hashtbl Int List Lr_sorting Path_outerplanarity Rng Rotation Spanning_tree_verify Traversal

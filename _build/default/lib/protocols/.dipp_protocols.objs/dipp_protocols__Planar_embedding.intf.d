@@ -1,0 +1,1 @@
+lib/protocols/planar_embedding.mli: Dip Graph Path_outerplanarity Rotation

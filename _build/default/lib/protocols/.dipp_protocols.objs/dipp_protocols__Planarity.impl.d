@@ -1,0 +1,1 @@
+lib/protocols/planarity.ml: Array Bits Dip Dipp_graph Edge_labels Graph Planar_embedding Rotation Traversal

@@ -1,0 +1,1 @@
+lib/protocols/planarity.mli: Dip Graph Planar_embedding

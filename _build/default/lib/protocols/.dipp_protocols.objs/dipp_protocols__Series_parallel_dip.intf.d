@@ -1,0 +1,1 @@
+lib/protocols/series_parallel_dip.mli: Dip Graph Path_outerplanarity

@@ -1,0 +1,1 @@
+lib/protocols/treewidth2_dip.ml: Array Biconnectivity Bits Dip Forest_encoding Fp Fun Graph List Lr_sorting Option Rng Series_parallel Series_parallel_dip Spanning_tree_verify Traversal

@@ -1,0 +1,1 @@
+lib/protocols/treewidth2_dip.mli: Dip Graph Series_parallel_dip

@@ -1,0 +1,1 @@
+lib/util/bits.ml: Bytes Char Format Int List Rng String

@@ -1,0 +1,107 @@
+type t = { len : int; data : Bytes.t }
+(* Bit [i] lives in byte [i / 8], mask [1 lsl (i mod 8)].  Unused tail bits
+   of the last byte are kept zero so structural equality is meaningful. *)
+
+let empty = { len = 0; data = Bytes.empty }
+
+let length t = t.len
+
+let bytes_for len = (len + 7) / 8
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bits.get";
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let make len =
+  { len; data = Bytes.make (bytes_for len) '\000' }
+
+let set_unsafe t i b =
+  if b then begin
+    let j = i lsr 3 in
+    Bytes.set t.data j (Char.chr (Char.code (Bytes.get t.data j) lor (1 lsl (i land 7))))
+  end
+
+let init len f =
+  let t = make len in
+  for i = 0 to len - 1 do set_unsafe t i (f i) done;
+  t
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  match Int.compare a.len b.len with
+  | 0 -> Bytes.compare a.data b.data
+  | c -> c
+
+let append a b = init (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+
+let concat ts =
+  let total = List.fold_left (fun acc t -> acc + t.len) 0 ts in
+  let out = make total in
+  let off = ref 0 in
+  List.iter
+    (fun t ->
+      for i = 0 to t.len - 1 do set_unsafe out (!off + i) (get t i) done;
+      off := !off + t.len)
+    ts;
+  out
+
+let of_bool b = init 1 (fun _ -> b)
+
+let of_int ~width v =
+  if width < 0 || width > 62 then invalid_arg "Bits.of_int: width";
+  if v < 0 || (width < 62 && v lsr width <> 0) then invalid_arg "Bits.of_int: value";
+  init width (fun i -> (v lsr (width - 1 - i)) land 1 = 1)
+
+let to_int t =
+  if t.len > 62 then invalid_arg "Bits.to_int: too long";
+  let v = ref 0 in
+  for i = 0 to t.len - 1 do
+    v := (!v lsl 1) lor (if get t i then 1 else 0)
+  done;
+  !v
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bits.sub";
+  init len (fun i -> get t (pos + i))
+
+let random rng len = init len (fun _ -> Rng.bool rng)
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Bits.of_string")
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Writer = struct
+  type nonrec t = { mutable rev : t list }
+
+  let create () = { rev = [] }
+  let bits w b = w.rev <- b :: w.rev
+  let bool w b = bits w (of_bool b)
+  let int w ~width v = bits w (of_int ~width v)
+  let contents w = concat (List.rev w.rev)
+end
+
+module Reader = struct
+  exception Underflow
+
+  type nonrec t = { src : t; mutable pos : int }
+
+  let of_bits src = { src; pos = 0 }
+  let remaining r = r.src.len - r.pos
+
+  let bits r ~len =
+    if len > remaining r then raise Underflow;
+    let b = sub r.src ~pos:r.pos ~len in
+    r.pos <- r.pos + len;
+    b
+
+  let bool r = to_int (bits r ~len:1) = 1
+  let int r ~width = to_int (bits r ~len:width)
+end

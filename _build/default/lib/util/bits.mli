@@ -1,0 +1,72 @@
+(** Immutable bitstrings with exact length accounting.
+
+    Labels in the DIP model are bitstrings; the proof size of a protocol is
+    the length in bits of the longest label the honest prover assigns.  This
+    module provides a writer/reader pair so every protocol serializes its
+    labels and the harness can measure their true size. *)
+
+type t
+(** A bitstring.  Equality and comparison are structural. *)
+
+val empty : t
+
+val length : t -> int
+(** Number of bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val append : t -> t -> t
+
+val concat : t list -> t
+
+val of_bool : bool -> t
+
+val of_int : width:int -> int -> t
+(** [of_int ~width v] is the [width]-bit big-endian encoding of [v].
+    Requires [0 <= v < 2^width] and [0 <= width <= 62]. *)
+
+val to_int : t -> int
+(** Inverse of {!of_int}; requires [length <= 62]. *)
+
+val get : t -> int -> bool
+(** [get t i] is bit [i] (0-based from the start). *)
+
+val sub : t -> pos:int -> len:int -> t
+
+val random : Rng.t -> int -> t
+(** [random rng len] draws [len] uniform bits. *)
+
+val to_string : t -> string
+(** ['0'/'1'] rendering, for debugging and tests. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on other chars. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Writer : sig
+  type bits := t
+  type t
+
+  val create : unit -> t
+  val bool : t -> bool -> unit
+  val int : t -> width:int -> int -> unit
+  val bits : t -> bits -> unit
+  val contents : t -> bits
+end
+
+module Reader : sig
+  type bits := t
+  type t
+
+  val of_bits : bits -> t
+  val bool : t -> bool
+  val int : t -> width:int -> int
+  val bits : t -> len:int -> bits
+  val remaining : t -> int
+
+  exception Underflow
+  (** Raised when reading past the end — i.e. a malformed label.  Verifiers
+      treat this as a rejection. *)
+end

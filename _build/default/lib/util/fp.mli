@@ -1,0 +1,25 @@
+(** Arithmetic in the prime field F_p.
+
+    Elements are represented as ints in [\[0, p)].  All field sizes used by
+    the protocols are polylogarithmic in n, far below 2^31, so products fit
+    in a native int. *)
+
+type t = { p : int }
+(** The field, determined by its prime modulus. *)
+
+val create : int -> t
+(** [create p] requires [p] prime and [p*p] representable in an int. *)
+
+val of_int : t -> int -> int
+(** Canonical representative (handles negatives). *)
+
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val pow : t -> int -> int -> int
+val inv : t -> int -> int
+val sample : t -> Rng.t -> int
+(** Uniform field element. *)
+
+val bit_width : t -> int
+(** Bits needed to encode a field element, i.e. [ceil(log2 p)]. *)

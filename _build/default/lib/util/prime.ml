@@ -1,0 +1,12 @@
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 2)) in
+    go 3
+
+let next_prime x =
+  if x < 0 then invalid_arg "Prime.next_prime";
+  let rec go n = if is_prime n then n else go (n + 1) in
+  go (x + 1)

@@ -1,0 +1,11 @@
+(** Prime search for field sizes.
+
+    The protocols pick the smallest prime above a polylog bound (paper §2,
+    multiset equality; §4, block comparisons).  Bounds are small (polylog n),
+    so trial division is ample. *)
+
+val is_prime : int -> bool
+
+val next_prime : int -> int
+(** [next_prime x] is the smallest prime strictly greater than [x].
+    Requires [x >= 0]. *)

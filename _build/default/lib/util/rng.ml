@@ -1,0 +1,41 @@
+type t = { mutable state : int64; seed : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let s = mix (Int64.of_int seed) in
+  { state = s; seed = s }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t salt =
+  let s = mix (Int64.add t.seed (Int64.mul (Int64.of_int (salt + 1)) golden)) in
+  { state = s; seed = s }
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let v = Int64.to_int (bits64 t) land mask in
+    let limit = mask - (mask mod bound) in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

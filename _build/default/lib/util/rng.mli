@@ -1,0 +1,25 @@
+(** Deterministic, splittable pseudo-random source.
+
+    Every protocol run is seeded so experiments are reproducible.  The
+    generator is SplitMix64: fast, well distributed, and splittable — each
+    node of the distributed verifier gets an independent stream derived from
+    the run seed and its node id, which mirrors the model's assumption of
+    independent per-node coins. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val split : t -> int -> t
+(** [split t salt] derives an independent generator; the same [(t-seed,
+    salt)] pair always yields the same stream. *)
+
+val bits64 : t -> int64
+val bool : t -> bool
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

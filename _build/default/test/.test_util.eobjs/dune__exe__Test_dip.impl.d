@@ -1,0 +1,1 @@
+test/test_dip.ml: Alcotest Array Bits Dip Edge_labels Forest_encoding Gen Graph Int List Multiset_equality QCheck QCheck_alcotest Rng Spanning_tree_verify Traversal

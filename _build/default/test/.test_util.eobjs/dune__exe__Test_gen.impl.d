@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Biconnectivity Gen Graph Lr_sorting Outerplanar Planar_test QCheck QCheck_alcotest Rotation Series_parallel Traversal

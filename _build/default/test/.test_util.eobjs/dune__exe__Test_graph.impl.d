@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Biconnectivity Coloring Degeneracy Digraph Forest_decomposition Fun Gen Graph Hashtbl Int List Printf QCheck QCheck_alcotest Rng Traversal

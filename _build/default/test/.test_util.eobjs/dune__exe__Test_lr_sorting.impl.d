@@ -1,0 +1,1 @@
+test/test_lr_sorting.ml: Alcotest Array Bits Dip Fp Fun Gen Graph List Lr_sorting Pls_lr_sorting Prime Printf QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_outerplanarity.ml: Alcotest Array Biconnectivity Dip Gen Graph List Outerplanar Outerplanarity Path_outerplanarity Printf QCheck QCheck_alcotest String Traversal

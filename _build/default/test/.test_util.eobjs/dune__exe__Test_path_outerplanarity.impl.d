@@ -1,0 +1,1 @@
+test/test_path_outerplanarity.ml: Alcotest Dip Fun Gen Graph List Lr_sorting Option Outerplanar Path_outerplanarity Printf QCheck QCheck_alcotest String

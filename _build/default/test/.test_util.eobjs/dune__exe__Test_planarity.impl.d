@@ -1,0 +1,1 @@
+test/test_planarity.ml: Alcotest Array Dip Fun Gen Graph List Option Outerplanar Planar_embedding Planarity Printf QCheck QCheck_alcotest Rotation Traversal

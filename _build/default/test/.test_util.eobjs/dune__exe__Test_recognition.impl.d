@@ -1,0 +1,1 @@
+test/test_recognition.ml: Alcotest Array Biconnectivity Gen Graph Int List Option Outerplanar Planar_test QCheck QCheck_alcotest Rng Rotation Series_parallel

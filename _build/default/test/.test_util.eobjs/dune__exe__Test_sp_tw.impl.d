@@ -1,0 +1,1 @@
+test/test_sp_tw.ml: Alcotest Dip Gen Graph List Printf QCheck QCheck_alcotest Series_parallel Series_parallel_dip String Treewidth2_dip

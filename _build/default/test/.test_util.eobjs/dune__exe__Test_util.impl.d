@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Fp Fun Gen Int List Poly Prime QCheck QCheck_alcotest Rng

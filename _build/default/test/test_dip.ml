@@ -1,0 +1,290 @@
+(* DIP framework: metering, Lemma 2.3 forest encoding, Lemma 2.4 edge-label
+   simulation, Lemma 2.5 spanning-tree verification, Lemma 2.6 multiset
+   equality. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Dip meter -------------------------------------------------------- *)
+
+let test_meter_rounds_and_sizes () =
+  let m = Dip.meter () in
+  Dip.record_prover m [| Bits.of_string "101"; Bits.of_string "11" |];
+  Dip.record_verifier m [| Bits.of_string "0"; Bits.empty |];
+  Dip.record_prover m [| Bits.of_string "1"; Bits.of_string "11111" |];
+  let s = Dip.stats m in
+  Alcotest.(check int) "rounds" 3 s.Dip.interaction_rounds;
+  Alcotest.(check int) "proof size" 5 s.Dip.proof_size_bits;
+  Alcotest.(check int) "node total" 7 s.Dip.max_node_total_bits;
+  Alcotest.(check int) "prover total" 11 s.Dip.total_prover_bits;
+  Alcotest.(check int) "verifier total" 1 s.Dip.total_verifier_bits;
+  Alcotest.(check (list bool)) "phases"
+    [ true; false; true ]
+    (List.map (fun p -> p = Dip.Prover_phase) s.Dip.phases)
+
+let test_merge_parallel () =
+  let mk rounds proof =
+    {
+      Dip.interaction_rounds = rounds;
+      proof_size_bits = proof;
+      max_node_total_bits = proof;
+      total_prover_bits = 10 * proof;
+      total_verifier_bits = proof;
+      phases = [];
+      per_phase = [];
+    }
+  in
+  let m = Dip.merge_parallel [ mk 3 10; mk 5 7 ] in
+  Alcotest.(check int) "rounds max" 5 m.Dip.interaction_rounds;
+  Alcotest.(check int) "proof sums" 17 m.Dip.proof_size_bits
+
+let test_all_accept () =
+  let v = Dip.all_accept ~n:5 (fun i -> i <> 2 && i <> 4) in
+  Alcotest.(check bool) "rejected" false v.Dip.accepted;
+  Alcotest.(check (list int)) "rejecting nodes" [ 2; 4 ] v.Dip.rejecting
+
+(* ---- Forest encoding (Lemma 2.3) --------------------------------------- *)
+
+let bfs_parents g root =
+  Array.mapi (fun v p -> if p = v then -1 else p) (Traversal.spanning_tree g root)
+
+let test_forest_encoding_path () =
+  let g = Graph.path_graph 10 in
+  let parent = bfs_parents g 0 in
+  let enc = Forest_encoding.encode g ~parent in
+  match Forest_encoding.decode_forest g enc with
+  | Some p -> Alcotest.(check (array int)) "decoded" parent p
+  | None -> Alcotest.fail "well-formed encoding"
+
+let prop_forest_encoding_roundtrip =
+  QCheck.Test.make ~name:"forest encoding: decode inverts encode on planar graphs" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 5 80))
+    (fun (seed, n) ->
+      let g = Gen.planar ~n seed in
+      let parent = bfs_parents g (seed mod n) in
+      let enc = Forest_encoding.encode g ~parent in
+      match Forest_encoding.decode_forest g enc with Some p -> p = parent | None -> false)
+
+let prop_forest_encoding_constant_size =
+  QCheck.Test.make ~name:"forest encoding: O(1) bits on planar graphs" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 5 150))
+    (fun (seed, n) ->
+      let g = Gen.planar ~n seed in
+      let enc = Forest_encoding.encode g ~parent:(bfs_parents g 0) in
+      let cbits = Forest_encoding.color_bits enc in
+      (* <= 6 colors needs 3 bits; total width 2*3 + 2 = 8 *)
+      Forest_encoding.width ~cbits <= 8)
+
+let test_forest_encoding_serialization () =
+  let l = { Forest_encoding.c1 = 5; c2 = 2; parity = true; root = false } in
+  let bits = Forest_encoding.to_bits ~cbits:3 l in
+  Alcotest.(check int) "width" (Forest_encoding.width ~cbits:3) (Bits.length bits);
+  let l' = Forest_encoding.read ~cbits:3 (Bits.Reader.of_bits bits) in
+  Alcotest.(check bool) "roundtrip" true (l = l')
+
+let test_forest_encoding_children () =
+  let g = Graph.star 6 in
+  let parent = Array.init 6 (fun v -> if v = 0 then -1 else 0) in
+  let enc = Forest_encoding.encode g ~parent in
+  let nbrs = Array.to_list (Array.map (fun u -> (u, enc.(u))) (Graph.neighbors g 0)) in
+  let kids = Forest_encoding.children_of ~own:enc.(0) ~nbrs in
+  Alcotest.(check (list int)) "children" [ 1; 2; 3; 4; 5 ] (List.sort Int.compare kids)
+
+let test_forest_encoding_multi_roots () =
+  let g = Graph.create ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5); (2, 3) ] in
+  let parent = [| -1; 0; 1; -1; 3; 4 |] in
+  let enc = Forest_encoding.encode g ~parent in
+  match Forest_encoding.decode_forest g enc with
+  | Some p -> Alcotest.(check (array int)) "two roots decoded" parent p
+  | None -> Alcotest.fail "well-formed"
+
+(* ---- Edge labels (Lemma 2.4) ------------------------------------------- *)
+
+let prop_edge_labels_roundtrip =
+  QCheck.Test.make ~name:"edge labels: every edge's label readable at both ends" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 5 60))
+    (fun (seed, n) ->
+      let g = Gen.planar ~n seed in
+      let el = Edge_labels.create g in
+      let width = 7 in
+      let value (u, v) = Bits.of_int ~width ((((u * 131) + v) * 7) mod 128) in
+      let labels = Edge_labels.assign el ~width value in
+      Graph.fold_edges
+        (fun e acc -> acc && Bits.equal (Edge_labels.read_edge el ~width ~labels e) (value e))
+        g true)
+
+let test_edge_labels_constant_fields () =
+  let g = Gen.planar ~n:120 5 in
+  let el = Edge_labels.create g in
+  Alcotest.(check bool) "<= 5 forests" true (Edge_labels.forests el <= 5);
+  let labels = Edge_labels.assign el ~width:3 (fun _ -> Bits.of_string "101") in
+  Array.iter
+    (fun l -> Alcotest.(check int) "label width" (3 * Edge_labels.forests el) (Bits.length l))
+    labels
+
+let test_edge_labels_child_is_endpoint () =
+  let g = Graph.cycle_graph 7 in
+  let el = Edge_labels.create g in
+  Graph.iter_edges
+    (fun (u, v) ->
+      let c = Edge_labels.child_of_edge el (u, v) in
+      Alcotest.(check bool) "endpoint" true (c = u || c = v))
+    g
+
+(* ---- Spanning tree verification (Lemma 2.5) ----------------------------- *)
+
+let test_st_completeness () =
+  for seed = 0 to 9 do
+    let g = Gen.planar ~n:60 seed in
+    let parent = bfs_parents g 0 in
+    let verdict, stats = Spanning_tree_verify.run ~seed g ~parent in
+    Alcotest.(check bool) "accepts spanning tree" true verdict.Dip.accepted;
+    Alcotest.(check int) "3 rounds" 3 stats.Dip.interaction_rounds
+  done
+
+let test_st_rejects_two_components () =
+  let hits = ref 0 in
+  for seed = 0 to 19 do
+    let g = Graph.path_graph 40 in
+    let parent = Array.init 40 (fun v -> if v = 0 || v = 20 then -1 else v - 1) in
+    let verdict, _ = Spanning_tree_verify.run ~seed ~reps:8 g ~parent in
+    if not verdict.Dip.accepted then incr hits
+  done;
+  Alcotest.(check bool) "rejects w.h.p." true (!hits >= 19)
+
+let test_st_rejects_cycle () =
+  (* parent pointers forming a cycle on part of the graph *)
+  let hits = ref 0 in
+  for seed = 0 to 19 do
+    let g = Graph.create ~n:6 [ (0,1);(1,2);(2,3);(3,4);(4,5);(5,3) ] in
+    let parent = [| -1; 0; 1; 4; 5; 3 |] in
+    (* 3 -> 4 -> 5 -> 3 is a parent cycle *)
+    let verdict, _ = Spanning_tree_verify.run ~seed ~reps:8 g ~parent in
+    if not verdict.Dip.accepted then incr hits
+  done;
+  Alcotest.(check bool) "rejects w.h.p." true (!hits >= 18)
+
+let test_st_soundness_amplification () =
+  (* more repetitions = fewer escapes; with reps=1 some escapes expected *)
+  let escapes reps =
+    let e = ref 0 in
+    for seed = 0 to 99 do
+      let g = Graph.path_graph 30 in
+      let parent = Array.init 30 (fun v -> if v = 0 || v = 15 then -1 else v - 1) in
+      let verdict, _ = Spanning_tree_verify.run ~seed ~reps g ~parent in
+      if verdict.Dip.accepted then incr e
+    done;
+    !e
+  in
+  let e1 = escapes 1 and e6 = escapes 6 in
+  Alcotest.(check bool) "amplification helps" true (e6 <= e1 && e6 = 0)
+
+(* ---- Multiset equality (Lemma 2.6) --------------------------------------- *)
+
+let star_instance n s1 s2 k universe =
+  let tree = Graph.star n in
+  let parent = Array.init n (fun v -> if v = 0 then -1 else 0) in
+  { Multiset_equality.tree; parent; s1; s2; k; universe }
+
+let test_mseq_accepts_equal () =
+  let n = 8 in
+  let s1 = Array.init n (fun v -> [ v; (v * 2) mod 10 ]) in
+  let s2 = Array.init n (fun v -> [ (v * 2) mod 10; v ]) in
+  (* same multiset per node, different order *)
+  let inst = star_instance n s1 s2 16 16 in
+  let verdict, stats = Multiset_equality.run ~seed:1 inst in
+  Alcotest.(check bool) "accepts" true verdict.Dip.accepted;
+  Alcotest.(check int) "2 rounds" 2 stats.Dip.interaction_rounds
+
+let test_mseq_accepts_redistributed () =
+  (* equal as global multisets even though per-node sets differ *)
+  let n = 4 in
+  let s1 = [| [ 1; 2 ]; [ 3 ]; []; [ 4 ] |] in
+  let s2 = [| []; [ 4; 3 ]; [ 2 ]; [ 1 ] |] in
+  let inst = star_instance n s1 s2 8 8 in
+  let verdict, _ = Multiset_equality.run ~seed:3 inst in
+  Alcotest.(check bool) "accepts" true verdict.Dip.accepted
+
+let test_mseq_rejects_unequal () =
+  let hits = ref 0 in
+  for seed = 0 to 29 do
+    let n = 6 in
+    let s1 = [| [ 1 ]; [ 2 ]; [ 3 ]; []; []; [] |] in
+    let s2 = [| [ 1 ]; [ 2 ]; [ 5 ]; []; []; [] |] in
+    let inst = star_instance n s1 s2 8 8 in
+    let verdict, _ = Multiset_equality.run ~seed inst in
+    if not verdict.Dip.accepted then incr hits
+  done;
+  Alcotest.(check bool) "rejects w.h.p." true (!hits >= 29)
+
+let test_mseq_multiplicity_sensitivity () =
+  let hits = ref 0 in
+  for seed = 0 to 29 do
+    let n = 4 in
+    let s1 = [| [ 7; 7 ]; []; []; [] |] in
+    let s2 = [| [ 7 ]; [ 7 ]; [ 7 ]; [] |] in
+    (* multiset sizes 2 vs 3 *)
+    let inst = star_instance n s1 s2 8 8 in
+    let verdict, _ = Multiset_equality.run ~seed inst in
+    if not verdict.Dip.accepted then incr hits
+  done;
+  Alcotest.(check bool) "multiplicities matter" true (!hits >= 29)
+
+let prop_mseq_deep_tree =
+  QCheck.Test.make ~name:"multiset equality: works over deep trees" ~count:30
+    QCheck.(pair (int_bound 1000) (int_range 3 40))
+    (fun (seed, n) ->
+      let tree = Graph.path_graph n in
+      let parent = Array.init n (fun v -> v - 1) in
+      let rng = Rng.create seed in
+      let s1 = Array.init n (fun _ -> List.init (Rng.int rng 3) (fun _ -> Rng.int rng 20)) in
+      (* redistribute the same global multiset *)
+      let all = List.concat (Array.to_list s1) in
+      let s2 = Array.make n [] in
+      List.iter (fun x ->
+          let i = Rng.int rng n in
+          s2.(i) <- x :: s2.(i))
+        all;
+      let inst = { Multiset_equality.tree; parent; s1; s2; k = max 4 (List.length all); universe = 32 } in
+      let verdict, _ = Multiset_equality.run ~seed inst in
+      verdict.Dip.accepted)
+
+let () =
+  Alcotest.run "dip"
+    [
+      ( "meter",
+        [
+          Alcotest.test_case "rounds and sizes" `Quick test_meter_rounds_and_sizes;
+          Alcotest.test_case "merge parallel" `Quick test_merge_parallel;
+          Alcotest.test_case "all accept" `Quick test_all_accept;
+        ] );
+      ( "forest-encoding",
+        [
+          Alcotest.test_case "path" `Quick test_forest_encoding_path;
+          Alcotest.test_case "serialization" `Quick test_forest_encoding_serialization;
+          Alcotest.test_case "children" `Quick test_forest_encoding_children;
+          Alcotest.test_case "multi roots" `Quick test_forest_encoding_multi_roots;
+          qtest prop_forest_encoding_roundtrip;
+          qtest prop_forest_encoding_constant_size;
+        ] );
+      ( "edge-labels",
+        [
+          qtest prop_edge_labels_roundtrip;
+          Alcotest.test_case "constant fields" `Quick test_edge_labels_constant_fields;
+          Alcotest.test_case "child endpoint" `Quick test_edge_labels_child_is_endpoint;
+        ] );
+      ( "spanning-tree-verify",
+        [
+          Alcotest.test_case "completeness" `Quick test_st_completeness;
+          Alcotest.test_case "rejects two components" `Quick test_st_rejects_two_components;
+          Alcotest.test_case "rejects parent cycle" `Quick test_st_rejects_cycle;
+          Alcotest.test_case "amplification" `Quick test_st_soundness_amplification;
+        ] );
+      ( "multiset-equality",
+        [
+          Alcotest.test_case "accepts equal" `Quick test_mseq_accepts_equal;
+          Alcotest.test_case "accepts redistributed" `Quick test_mseq_accepts_redistributed;
+          Alcotest.test_case "rejects unequal" `Quick test_mseq_rejects_unequal;
+          Alcotest.test_case "multiplicities" `Quick test_mseq_multiplicity_sensitivity;
+          qtest prop_mseq_deep_tree;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Outerplanarity protocols (Theorems 6.1 and 1.3). *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Theorem 6.1: biconnected ---------------------------------------------- *)
+
+let test_biconnected_completeness () =
+  for seed = 0 to 14 do
+    let g = Gen.biconnected_outerplanar ~n:30 seed in
+    let r = Outerplanarity.run_biconnected ~seed ~prover:Path_outerplanarity.Honest g in
+    Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true r.Path_outerplanarity.verdict.Dip.accepted
+  done
+
+let test_biconnected_cycle () =
+  let r = Outerplanarity.run_biconnected ~prover:Path_outerplanarity.Honest (Graph.cycle_graph 20) in
+  Alcotest.(check bool) "cycle" true r.Path_outerplanarity.verdict.Dip.accepted
+
+let test_biconnected_k4_rejected () =
+  let rej = ref 0 in
+  for seed = 0 to 19 do
+    let r = Outerplanarity.run_biconnected ~seed ~prover:Path_outerplanarity.Crossing_sweep (Graph.complete 4) in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "K4 rejected" true (!rej = 20)
+
+let test_biconnected_path_not_closed () =
+  (* a bare path is path-outerplanar but NOT biconnected outerplanar: no
+     closing edge between the endpoints *)
+  let r = Outerplanarity.run_biconnected ~prover:Path_outerplanarity.Honest (Graph.path_graph 10) in
+  Alcotest.(check bool) "open path rejected" false r.Path_outerplanarity.verdict.Dip.accepted
+
+(* ---- Theorem 1.3: general --------------------------------------------------- *)
+
+let test_general_completeness () =
+  for seed = 0 to 14 do
+    let g = Gen.outerplanar ~blocks:5 seed in
+    let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+    if not r.Outerplanarity.verdict.Dip.accepted then
+      Alcotest.failf "seed %d rejected (%s)" seed
+        (String.concat "," (List.map string_of_int r.Outerplanarity.verdict.Dip.rejecting))
+  done
+
+let test_general_single_block () =
+  let g = Gen.biconnected_outerplanar ~n:25 3 in
+  let r = Outerplanarity.run ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Alcotest.(check bool) "single block" true r.Outerplanarity.verdict.Dip.accepted
+
+let test_general_tree () =
+  (* trees are outerplanar; every block is a bridge *)
+  let g = Graph.star 12 in
+  let r = Outerplanarity.run ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Alcotest.(check bool) "star" true r.Outerplanarity.verdict.Dip.accepted
+
+let test_general_rounds () =
+  let g = Gen.outerplanar ~blocks:6 2 in
+  let r = Outerplanarity.run ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Alcotest.(check int) "5 rounds" 5 r.Outerplanarity.stats.Dip.interaction_rounds
+
+let test_general_soundness () =
+  let rej = ref 0 and tot = ref 0 in
+  for seed = 0 to 19 do
+    let g = Gen.outerplanar_no ~blocks:4 seed in
+    if (not (Outerplanar.is_outerplanar g)) && Traversal.is_connected g then begin
+      incr tot;
+      let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Component_cheat { Outerplanarity.graph = g } in
+      if not r.Outerplanarity.verdict.Dip.accepted then incr rej
+    end
+  done;
+  Alcotest.(check bool) "bad component rejected" true (!tot > 10 && !rej = !tot)
+
+let test_merge_cheat_rejected () =
+  let rej = ref 0 in
+  for seed = 0 to 19 do
+    let g = Gen.outerplanar ~blocks:5 seed in
+    let r = Outerplanarity.run ~seed ~prover:Outerplanarity.Merge_components { Outerplanarity.graph = g } in
+    if not r.Outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "merge cheat rejected" true (!rej >= 19)
+
+let test_component_results_counted () =
+  let g = Gen.outerplanar ~blocks:4 7 in
+  let bc = Biconnectivity.compute g in
+  let big = List.length (List.filter (fun c -> List.length c >= 3) (Array.to_list bc.Biconnectivity.components)) in
+  let r = Outerplanarity.run ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+  Alcotest.(check int) "one run per big block" big (List.length r.Outerplanarity.component_results)
+
+let prop_general_completeness =
+  QCheck.Test.make ~name:"outerplanarity: perfect completeness" ~count:25
+    QCheck.(pair (int_bound 100000) (int_range 1 10))
+    (fun (seed, blocks) ->
+      let g = Gen.outerplanar ~blocks seed in
+      (Outerplanarity.run ~seed ~prover:Outerplanarity.Honest { Outerplanarity.graph = g }).Outerplanarity.verdict.Dip.accepted)
+
+let prop_general_soundness =
+  QCheck.Test.make ~name:"outerplanarity: non-outerplanar rejected w.h.p." ~count:20
+    QCheck.(pair (int_bound 100000) (int_range 2 8))
+    (fun (seed, blocks) ->
+      let g = Gen.outerplanar_no ~blocks seed in
+      QCheck.assume (not (Outerplanar.is_outerplanar g));
+      let rejected = ref 0 in
+      for s = 0 to 2 do
+        let r =
+          Outerplanarity.run ~seed:((seed * 3) + s) ~prover:Outerplanarity.Component_cheat
+            { Outerplanarity.graph = g }
+        in
+        if not r.Outerplanarity.verdict.Dip.accepted then incr rejected
+      done;
+      !rejected >= 1)
+
+let () =
+  Alcotest.run "outerplanarity"
+    [
+      ( "biconnected (Thm 6.1)",
+        [
+          Alcotest.test_case "completeness" `Quick test_biconnected_completeness;
+          Alcotest.test_case "cycle" `Quick test_biconnected_cycle;
+          Alcotest.test_case "K4 rejected" `Quick test_biconnected_k4_rejected;
+          Alcotest.test_case "open path rejected" `Quick test_biconnected_path_not_closed;
+        ] );
+      ( "general (Thm 1.3)",
+        [
+          Alcotest.test_case "completeness" `Quick test_general_completeness;
+          Alcotest.test_case "single block" `Quick test_general_single_block;
+          Alcotest.test_case "tree" `Quick test_general_tree;
+          Alcotest.test_case "rounds" `Quick test_general_rounds;
+          Alcotest.test_case "soundness" `Quick test_general_soundness;
+          Alcotest.test_case "merge cheat" `Quick test_merge_cheat_rejected;
+          Alcotest.test_case "component accounting" `Quick test_component_results_counted;
+          qtest prop_general_completeness;
+          qtest prop_general_soundness;
+        ] );
+    ]

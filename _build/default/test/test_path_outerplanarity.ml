@@ -1,0 +1,203 @@
+(* The path-outerplanarity protocol (Theorem 1.2). *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_honest ?(seed = 0) g w =
+  Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Honest
+    { Path_outerplanarity.graph = g; witness = Some w }
+
+(* ---- completeness --------------------------------------------------------- *)
+
+let test_completeness_random () =
+  for seed = 0 to 19 do
+    let g, w = Gen.path_outerplanar ~n:120 seed in
+    let r = run_honest ~seed g w in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then
+      Alcotest.failf "seed %d rejected (nodes %s)" seed
+        (String.concat "," (List.map string_of_int r.Path_outerplanarity.verdict.Dip.rejecting))
+  done
+
+let test_completeness_bare_path () =
+  let r = run_honest (Graph.path_graph 50) (List.init 50 Fun.id) in
+  Alcotest.(check bool) "bare path" true r.Path_outerplanarity.verdict.Dip.accepted
+
+let test_completeness_snake_triangulation () =
+  (* chords (2i, 2i+2) share endpoints pairwise: a triangulation strip that
+     nests over the identity path *)
+  let n = 40 in
+  let chords = List.init ((n - 2) / 2) (fun i -> (2 * i, (2 * i) + 2)) in
+  let g = Graph.create ~n (List.init (n - 1) (fun i -> (i, i + 1)) @ chords) in
+  let r = run_honest g (List.init n Fun.id) in
+  Alcotest.(check bool) "snake" true r.Path_outerplanarity.verdict.Dip.accepted
+
+let test_completeness_full_fan () =
+  let n = 30 in
+  let g = Graph.create ~n (List.init (n - 1) (fun i -> (i, i + 1)) @ List.init (n - 2) (fun i -> (0, i + 2))) in
+  let r = run_honest g (List.init n Fun.id) in
+  Alcotest.(check bool) "fan" true r.Path_outerplanarity.verdict.Dip.accepted
+
+let test_completeness_witness_derived () =
+  (* no witness given: the prover recognizes the graph itself *)
+  for seed = 0 to 4 do
+    let g = Gen.biconnected_outerplanar ~n:25 seed in
+    let r =
+      Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Honest
+        { Path_outerplanarity.graph = g; witness = None }
+    in
+    Alcotest.(check bool) "derived witness accepted" true r.Path_outerplanarity.verdict.Dip.accepted
+  done
+
+let test_completeness_tiny () =
+  List.iter
+    (fun n ->
+      let g, w = Gen.path_outerplanar ~n 3 in
+      let r = run_honest g w in
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true r.Path_outerplanarity.verdict.Dip.accepted)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_completeness_maximal_outerplanar () =
+  (* the densest yes-instances: m = 2n - 3 *)
+  for seed = 0 to 4 do
+    let g = Gen.maximal_outerplanar ~n:40 seed in
+    let w = Option.get (Outerplanar.path_witness g) in
+    let r = run_honest ~seed g w in
+    Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true r.Path_outerplanarity.verdict.Dip.accepted
+  done
+
+let prop_completeness =
+  QCheck.Test.make ~name:"path-op: perfect completeness" ~count:30
+    QCheck.(pair (int_bound 100000) (int_range 8 200))
+    (fun (seed, n) ->
+      let g, w = Gen.path_outerplanar ~n seed in
+      (run_honest ~seed g w).Path_outerplanarity.verdict.Dip.accepted)
+
+(* ---- rounds & size --------------------------------------------------------- *)
+
+let test_rounds () =
+  let g, w = Gen.path_outerplanar ~n:100 1 in
+  let r = run_honest g w in
+  Alcotest.(check int) "5 rounds" 5 r.Path_outerplanarity.stats.Dip.interaction_rounds
+
+let test_lr_subprotocol_present () =
+  let g, w = Gen.path_outerplanar ~n:100 1 in
+  let r = run_honest g w in
+  match r.Path_outerplanarity.lr with
+  | Some lr -> Alcotest.(check bool) "lr accepted" true lr.Lr_sorting.verdict.Dip.accepted
+  | None -> Alcotest.fail "lr sub-protocol should run on a valid path"
+
+let test_size_growth () =
+  let size n =
+    let g, w = Gen.path_outerplanar ~n 11 in
+    (run_honest ~seed:2 g w).Path_outerplanarity.stats.Dip.proof_size_bits
+  in
+  let s256 = size 256 and s4096 = size 4096 in
+  Alcotest.(check bool) "slow growth over 16x" true (s4096 - s256 < 60)
+
+(* ---- soundness -------------------------------------------------------------- *)
+
+let crossing_rejection prover ~trials =
+  let rej = ref 0 in
+  for seed = 0 to trials - 1 do
+    let g, w = Gen.path_crossing ~n:100 seed in
+    let r =
+      Path_outerplanarity.run ~seed:((seed * 5) + 2) ~prover { Path_outerplanarity.graph = g; witness = Some w }
+    in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  !rej
+
+let test_soundness_crossing_sweep () =
+  Alcotest.(check bool) "sweep rejected" true (crossing_rejection Path_outerplanarity.Crossing_sweep ~trials:30 >= 29)
+
+let test_soundness_flip_orientation () =
+  Alcotest.(check bool) "flip rejected" true (crossing_rejection Path_outerplanarity.Flip_orientation ~trials:30 >= 29)
+
+let test_soundness_honest_labels () =
+  Alcotest.(check bool) "honest-on-no rejected" true (crossing_rejection Path_outerplanarity.Honest ~trials:30 >= 29)
+
+let test_soundness_fake_path () =
+  let rej = ref 0 in
+  for seed = 0 to 29 do
+    let g, w = Gen.path_outerplanar ~n:100 seed in
+    let r =
+      Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Fake_path
+        { Path_outerplanarity.graph = g; witness = Some w }
+    in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "fake path rejected" true (!rej >= 29)
+
+let test_soundness_k23 () =
+  (* K_{2,3} with a Hamiltonian path: not outerplanar *)
+  let g = Graph.complete_bipartite 2 3 in
+  (* parts {0,1} and {2,3,4}: path 2-0-3-1-4 *)
+  let w = [ 2; 0; 3; 1; 4 ] in
+  let rej = ref 0 in
+  for seed = 0 to 19 do
+    let r =
+      Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Crossing_sweep
+        { Path_outerplanarity.graph = g; witness = Some w }
+    in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "K23 rejected" true (!rej >= 19)
+
+let test_soundness_k4 () =
+  let g = Graph.complete 4 in
+  let w = [ 0; 1; 2; 3 ] in
+  let rej = ref 0 in
+  for seed = 0 to 19 do
+    let r =
+      Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Crossing_sweep
+        { Path_outerplanarity.graph = g; witness = Some w }
+    in
+    if not r.Path_outerplanarity.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "K4 rejected" true (!rej >= 19)
+
+let prop_soundness =
+  QCheck.Test.make ~name:"path-op: crossing instances rejected w.h.p." ~count:25
+    QCheck.(pair (int_bound 100000) (int_range 12 150))
+    (fun (seed, n) ->
+      let g, w = Gen.path_crossing ~n seed in
+      let rejected = ref 0 in
+      for s = 0 to 2 do
+        let r =
+          Path_outerplanarity.run ~seed:((seed * 3) + s) ~prover:Path_outerplanarity.Crossing_sweep
+            { Path_outerplanarity.graph = g; witness = Some w }
+        in
+        if not r.Path_outerplanarity.verdict.Dip.accepted then incr rejected
+      done;
+      !rejected >= 1)
+
+let () =
+  Alcotest.run "path_outerplanarity"
+    [
+      ( "completeness",
+        [
+          Alcotest.test_case "random instances" `Quick test_completeness_random;
+          Alcotest.test_case "bare path" `Quick test_completeness_bare_path;
+          Alcotest.test_case "snake triangulation" `Quick test_completeness_snake_triangulation;
+          Alcotest.test_case "fan" `Quick test_completeness_full_fan;
+          Alcotest.test_case "derived witness" `Quick test_completeness_witness_derived;
+          Alcotest.test_case "tiny instances" `Quick test_completeness_tiny;
+          Alcotest.test_case "maximal outerplanar" `Quick test_completeness_maximal_outerplanar;
+          qtest prop_completeness;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "rounds" `Quick test_rounds;
+          Alcotest.test_case "lr sub-protocol" `Quick test_lr_subprotocol_present;
+          Alcotest.test_case "size growth" `Slow test_size_growth;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "crossing sweep" `Quick test_soundness_crossing_sweep;
+          Alcotest.test_case "flip orientation" `Quick test_soundness_flip_orientation;
+          Alcotest.test_case "honest labels" `Quick test_soundness_honest_labels;
+          Alcotest.test_case "fake path" `Quick test_soundness_fake_path;
+          Alcotest.test_case "K23" `Quick test_soundness_k23;
+          Alcotest.test_case "K4" `Quick test_soundness_k4;
+          qtest prop_soundness;
+        ] );
+    ]

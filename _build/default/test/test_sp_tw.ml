@@ -1,0 +1,199 @@
+(* Series-parallel (Theorem 1.6) and treewidth <= 2 (Theorem 1.7)
+   protocols. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- series-parallel ---------------------------------------------------- *)
+
+let test_sp_completeness_with_witness () =
+  for seed = 0 to 14 do
+    let tr, g = Gen.series_parallel ~size:40 seed in
+    let ears = Series_parallel.ears_of_sp tr in
+    let r =
+      Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+        { Series_parallel_dip.graph = g; ears = Some ears }
+    in
+    if not r.Series_parallel_dip.verdict.Dip.accepted then
+      Alcotest.failf "seed %d rejected (%s)" seed
+        (String.concat "," (List.map string_of_int r.Series_parallel_dip.verdict.Dip.rejecting))
+  done
+
+let test_sp_completeness_derived () =
+  for seed = 20 to 29 do
+    let _, g = Gen.series_parallel ~size:30 seed in
+    let r =
+      Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+        { Series_parallel_dip.graph = g; ears = None }
+    in
+    Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true r.Series_parallel_dip.verdict.Dip.accepted
+  done
+
+let test_sp_single_edge () =
+  let g = Graph.path_graph 2 in
+  let r =
+    Series_parallel_dip.run ~prover:Series_parallel_dip.Honest { Series_parallel_dip.graph = g; ears = None }
+  in
+  Alcotest.(check bool) "edge" true r.Series_parallel_dip.verdict.Dip.accepted
+
+let test_sp_theta () =
+  let g = Graph.create ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3); (1, 3) ] in
+  let r =
+    Series_parallel_dip.run ~prover:Series_parallel_dip.Honest { Series_parallel_dip.graph = g; ears = None }
+  in
+  Alcotest.(check bool) "theta" true r.Series_parallel_dip.verdict.Dip.accepted
+
+let test_sp_rounds () =
+  let tr, g = Gen.series_parallel ~size:30 3 in
+  let r =
+    Series_parallel_dip.run ~prover:Series_parallel_dip.Honest
+      { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+  in
+  Alcotest.(check int) "5 rounds" 5 r.Series_parallel_dip.stats.Dip.interaction_rounds
+
+let test_sp_soundness () =
+  let rej = ref 0 and tot = ref 0 in
+  for seed = 0 to 19 do
+    match Gen.series_parallel_no ~size:30 seed with
+    | Some (g, ears) ->
+        incr tot;
+        let r =
+          Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Ear_cheat
+            { Series_parallel_dip.graph = g; ears = Some ears }
+        in
+        if not r.Series_parallel_dip.verdict.Dip.accepted then incr rej
+    | None -> ()
+  done;
+  Alcotest.(check bool) "bad edge rejected" true (!tot >= 15 && !rej = !tot)
+
+let test_sp_k4_rejected () =
+  let rej = ref 0 in
+  for seed = 0 to 9 do
+    let r =
+      Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Ear_cheat
+        { Series_parallel_dip.graph = Graph.complete 4; ears = None }
+    in
+    if not r.Series_parallel_dip.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check int) "K4 rejected always" 10 !rej
+
+let test_sp_fake_ears_rejected () =
+  let rej = ref 0 in
+  for seed = 0 to 9 do
+    let tr, g = Gen.series_parallel ~size:40 seed in
+    let r =
+      Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Fake_ears
+        { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+    in
+    if not r.Series_parallel_dip.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check bool) "fake ears rejected" true (!rej >= 9)
+
+let prop_sp_completeness =
+  QCheck.Test.make ~name:"sp-dip: perfect completeness" ~count:25
+    QCheck.(pair (int_bound 100000) (int_range 4 60))
+    (fun (seed, size) ->
+      let tr, g = Gen.series_parallel ~size seed in
+      let r =
+        Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+          { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+      in
+      r.Series_parallel_dip.verdict.Dip.accepted)
+
+let prop_sp_soundness =
+  QCheck.Test.make ~name:"sp-dip: non-SP rejected w.h.p." ~count:20
+    QCheck.(pair (int_bound 100000) (int_range 10 40))
+    (fun (seed, size) ->
+      match Gen.series_parallel_no ~size seed with
+      | None -> QCheck.assume_fail ()
+      | Some (g, ears) ->
+          let rejected = ref 0 in
+          for s = 0 to 2 do
+            let r =
+              Series_parallel_dip.run ~seed:((seed * 3) + s) ~prover:Series_parallel_dip.Ear_cheat
+                { Series_parallel_dip.graph = g; ears = Some ears }
+            in
+            if not r.Series_parallel_dip.verdict.Dip.accepted then incr rejected
+          done;
+          !rejected >= 1)
+
+(* ---- treewidth <= 2 ------------------------------------------------------- *)
+
+let test_tw_completeness () =
+  for seed = 0 to 9 do
+    let g = Gen.treewidth2 ~blocks:4 seed in
+    let r = Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+    Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true r.Treewidth2_dip.verdict.Dip.accepted
+  done
+
+let test_tw_single_block () =
+  let _, g = Gen.series_parallel ~size:20 5 in
+  let r = Treewidth2_dip.run ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+  Alcotest.(check bool) "single SP block" true r.Treewidth2_dip.verdict.Dip.accepted
+
+let test_tw_tree () =
+  let g = Graph.star 15 in
+  let r = Treewidth2_dip.run ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+  Alcotest.(check bool) "tree" true r.Treewidth2_dip.verdict.Dip.accepted
+
+let test_tw_rounds () =
+  let g = Gen.treewidth2 ~blocks:5 2 in
+  let r = Treewidth2_dip.run ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+  Alcotest.(check int) "5 rounds" 5 r.Treewidth2_dip.stats.Dip.interaction_rounds
+
+let test_tw_soundness () =
+  let rej = ref 0 and tot = ref 0 in
+  for seed = 0 to 14 do
+    match Gen.treewidth2_no ~blocks:4 seed with
+    | Some g ->
+        incr tot;
+        let r = Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Component_cheat { Treewidth2_dip.graph = g } in
+        if not r.Treewidth2_dip.verdict.Dip.accepted then incr rej
+    | None -> ()
+  done;
+  Alcotest.(check bool) "tw3 rejected" true (!tot >= 10 && !rej = !tot)
+
+let test_tw_k4_rejected () =
+  let rej = ref 0 in
+  for seed = 0 to 9 do
+    let r =
+      Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Component_cheat
+        { Treewidth2_dip.graph = Graph.complete 4 }
+    in
+    if not r.Treewidth2_dip.verdict.Dip.accepted then incr rej
+  done;
+  Alcotest.(check int) "K4 rejected" 10 !rej
+
+let prop_tw_completeness =
+  QCheck.Test.make ~name:"tw2-dip: perfect completeness" ~count:20
+    QCheck.(pair (int_bound 100000) (int_range 1 7))
+    (fun (seed, blocks) ->
+      let g = Gen.treewidth2 ~blocks seed in
+      (Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g }).Treewidth2_dip.verdict.Dip.accepted)
+
+let () =
+  Alcotest.run "sp_tw"
+    [
+      ( "series-parallel (Thm 1.6)",
+        [
+          Alcotest.test_case "completeness (witness)" `Quick test_sp_completeness_with_witness;
+          Alcotest.test_case "completeness (derived)" `Quick test_sp_completeness_derived;
+          Alcotest.test_case "single edge" `Quick test_sp_single_edge;
+          Alcotest.test_case "theta" `Quick test_sp_theta;
+          Alcotest.test_case "rounds" `Quick test_sp_rounds;
+          Alcotest.test_case "soundness" `Quick test_sp_soundness;
+          Alcotest.test_case "K4" `Quick test_sp_k4_rejected;
+          Alcotest.test_case "fake ears" `Quick test_sp_fake_ears_rejected;
+          qtest prop_sp_completeness;
+          qtest prop_sp_soundness;
+        ] );
+      ( "treewidth <= 2 (Thm 1.7)",
+        [
+          Alcotest.test_case "completeness" `Quick test_tw_completeness;
+          Alcotest.test_case "single block" `Quick test_tw_single_block;
+          Alcotest.test_case "tree" `Quick test_tw_tree;
+          Alcotest.test_case "rounds" `Quick test_tw_rounds;
+          Alcotest.test_case "soundness" `Quick test_tw_soundness;
+          Alcotest.test_case "K4" `Quick test_tw_k4_rejected;
+          qtest prop_tw_completeness;
+        ] );
+    ]

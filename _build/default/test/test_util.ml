@@ -1,0 +1,225 @@
+(* Unit + property tests for the bit/field substrate. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Bits ---------------------------------------------------------- *)
+
+let test_bits_roundtrip () =
+  for width = 1 to 20 do
+    let v = (1 lsl width) - 1 in
+    Alcotest.(check int) "max value" v Bits.(to_int (of_int ~width v));
+    Alcotest.(check int) "zero" 0 Bits.(to_int (of_int ~width 0))
+  done
+
+let test_bits_get () =
+  let b = Bits.of_string "10110" in
+  Alcotest.(check bool) "bit 0" true (Bits.get b 0);
+  Alcotest.(check bool) "bit 1" false (Bits.get b 1);
+  Alcotest.(check bool) "bit 2" true (Bits.get b 2);
+  Alcotest.(check int) "length" 5 (Bits.length b)
+
+let test_bits_append () =
+  let a = Bits.of_string "101" and b = Bits.of_string "0011" in
+  Alcotest.(check string) "append" "1010011" (Bits.to_string (Bits.append a b));
+  Alcotest.(check string) "concat" "1010011101" (Bits.to_string (Bits.concat [ a; b; a ]))
+
+let test_bits_sub () =
+  let b = Bits.of_string "110010111" in
+  Alcotest.(check string) "sub" "0010" (Bits.to_string (Bits.sub b ~pos:2 ~len:4))
+
+let test_bits_writer_reader () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.int w ~width:7 93;
+  Bits.Writer.bool w true;
+  Bits.Writer.int w ~width:3 5;
+  let r = Bits.Reader.of_bits (Bits.Writer.contents w) in
+  Alcotest.(check int) "int field" 93 (Bits.Reader.int r ~width:7);
+  Alcotest.(check bool) "bool field" true (Bits.Reader.bool r);
+  Alcotest.(check int) "second int" 5 (Bits.Reader.int r ~width:3);
+  Alcotest.(check int) "drained" 0 (Bits.Reader.remaining r)
+
+let test_bits_reader_underflow () =
+  let r = Bits.Reader.of_bits (Bits.of_string "10") in
+  Alcotest.check_raises "underflow" Bits.Reader.Underflow (fun () ->
+      ignore (Bits.Reader.int r ~width:3))
+
+let test_bits_equal () =
+  Alcotest.(check bool) "equal" true (Bits.equal (Bits.of_string "101") (Bits.of_string "101"));
+  Alcotest.(check bool) "length differs" false (Bits.equal (Bits.of_string "1010") (Bits.of_string "101"));
+  Alcotest.(check bool) "content differs" false (Bits.equal (Bits.of_string "100") (Bits.of_string "101"))
+
+let prop_bits_string_roundtrip =
+  QCheck.Test.make ~name:"bits: of_string/to_string roundtrip" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_bound 64) (Gen.oneofl [ '0'; '1' ]))
+    (fun s -> Bits.to_string (Bits.of_string s) = s)
+
+let prop_bits_int_roundtrip =
+  QCheck.Test.make ~name:"bits: of_int/to_int roundtrip" ~count:500
+    QCheck.(pair (int_range 1 30) (int_bound 1000000))
+    (fun (width, v) ->
+      QCheck.assume (v < 1 lsl width);
+      Bits.to_int (Bits.of_int ~width v) = v)
+
+let prop_bits_append_length =
+  QCheck.Test.make ~name:"bits: |a ++ b| = |a| + |b|" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (x, y) ->
+      let rng = Rng.create (x + (1000 * y)) in
+      let a = Bits.random rng (x mod 100) and b = Bits.random rng (y mod 100) in
+      Bits.length (Bits.append a b) = Bits.length a + Bits.length b)
+
+(* ---- Rng ----------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let base = Rng.create 7 in
+  let a = Rng.split base 1 and b = Rng.split base 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_reproducible () =
+  let x = Rng.bits64 (Rng.split (Rng.create 5) 9) in
+  let y = Rng.bits64 (Rng.split (Rng.create 5) 9) in
+  Alcotest.(check int64) "split reproducible" x y
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_uniformish () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200)) counts
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ---- Prime / Fp ---------------------------------------------------- *)
+
+let test_primes_small () =
+  Alcotest.(check (list bool)) "primality"
+    [ false; false; true; true; false; true; false; true; false; false ]
+    (List.map Prime.is_prime [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+
+let test_next_prime () =
+  Alcotest.(check int) "next_prime 10" 11 (Prime.next_prime 10);
+  Alcotest.(check int) "next_prime 13" 17 (Prime.next_prime 13);
+  Alcotest.(check int) "next_prime 1" 2 (Prime.next_prime 1);
+  Alcotest.(check int) "next_prime 1000" 1009 (Prime.next_prime 1000)
+
+let test_fp_ops () =
+  let f = Fp.create 101 in
+  Alcotest.(check int) "add" 3 (Fp.add f 52 52);
+  Alcotest.(check int) "sub" 99 (Fp.sub f 3 5);
+  Alcotest.(check int) "mul" (50 * 50 mod 101) (Fp.mul f 50 50);
+  Alcotest.(check int) "pow" (Fp.mul f 7 (Fp.mul f 7 7)) (Fp.pow f 7 3);
+  Alcotest.(check int) "fermat" 1 (Fp.pow f 5 100)
+
+let test_fp_inverse () =
+  let f = Fp.create 97 in
+  for a = 1 to 96 do
+    Alcotest.(check int) "a * a^-1 = 1" 1 (Fp.mul f a (Fp.inv f a))
+  done
+
+let test_fp_bit_width () =
+  Alcotest.(check int) "width 101" 7 (Fp.bit_width (Fp.create 101));
+  Alcotest.(check int) "width 2" 1 (Fp.bit_width (Fp.create 2));
+  Alcotest.(check int) "width 257" 9 (Fp.bit_width (Fp.create 257))
+
+(* ---- Poly ---------------------------------------------------------- *)
+
+let test_poly_eval () =
+  let f = Fp.create 101 in
+  (* phi_{1,2,3}(x) = (1-x)(2-x)(3-x) at x=5: (-4)(-3)(-2) = -24 = 77 *)
+  Alcotest.(check int) "eval" (Fp.of_int f (-24)) (Poly.eval f [ 1; 2; 3 ] 5)
+
+let test_poly_multiset_order_invariance () =
+  let f = Fp.create 211 in
+  Alcotest.(check int) "order invariant" (Poly.eval f [ 4; 9; 9; 2 ] 17) (Poly.eval f [ 9; 2; 4; 9 ] 17)
+
+let test_poly_prefixes () =
+  let f = Fp.create 211 in
+  let groups = [ [ 1; 2 ]; []; [ 3 ]; [ 4; 5 ] ] in
+  let p = Poly.eval_prefixes f groups 7 in
+  Alcotest.(check int) "prefix 0" (Poly.eval f [ 1; 2 ] 7) p.(0);
+  Alcotest.(check int) "prefix 1" p.(0) p.(1);
+  Alcotest.(check int) "prefix 2" (Poly.eval f [ 1; 2; 3 ] 7) p.(2);
+  Alcotest.(check int) "prefix 3" (Poly.eval f [ 1; 2; 3; 4; 5 ] 7) p.(3)
+
+let prop_poly_identity_testing =
+  QCheck.Test.make ~name:"poly: distinct multisets collide rarely" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 30)) small_nat)
+    (fun (s, salt) ->
+      let f = Fp.create 1009 in
+      let s' = List.map (fun x -> x + 1) s in
+      QCheck.assume (List.sort compare s <> List.sort compare s');
+      (* count collisions over many random points: must be well under k/p *)
+      let rng = Rng.create salt in
+      let collisions = ref 0 in
+      for _ = 1 to 100 do
+        let z = Fp.sample f rng in
+        if Poly.eval f s z = Poly.eval f s' z then incr collisions
+      done;
+      !collisions <= 3)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_bits_roundtrip;
+          Alcotest.test_case "get" `Quick test_bits_get;
+          Alcotest.test_case "append/concat" `Quick test_bits_append;
+          Alcotest.test_case "sub" `Quick test_bits_sub;
+          Alcotest.test_case "writer/reader" `Quick test_bits_writer_reader;
+          Alcotest.test_case "reader underflow" `Quick test_bits_reader_underflow;
+          Alcotest.test_case "equal" `Quick test_bits_equal;
+          qtest prop_bits_string_roundtrip;
+          qtest prop_bits_int_roundtrip;
+          qtest prop_bits_append_length;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split reproducible" `Quick test_rng_split_reproducible;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniform-ish" `Quick test_rng_uniformish;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "field",
+        [
+          Alcotest.test_case "small primes" `Quick test_primes_small;
+          Alcotest.test_case "next_prime" `Quick test_next_prime;
+          Alcotest.test_case "fp ops" `Quick test_fp_ops;
+          Alcotest.test_case "fp inverse" `Quick test_fp_inverse;
+          Alcotest.test_case "fp bit width" `Quick test_fp_bit_width;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "multiset order invariance" `Quick test_poly_multiset_order_invariance;
+          Alcotest.test_case "prefixes" `Quick test_poly_prefixes;
+          qtest prop_poly_identity_testing;
+        ] );
+    ]
