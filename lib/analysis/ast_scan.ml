@@ -1,0 +1,85 @@
+let parse_string ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  Parse.implementation lexbuf
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string ~filename:path (really_input_string ic (in_channel_length ic)))
+
+let rec ident_path = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (p, s) -> ident_path p ^ "." ^ s
+  | Longident.Lapply (a, b) -> ident_path a ^ "(" ^ ident_path b ^ ")"
+
+let last_two = function
+  | Longident.Ldot (Longident.Lident m, s) -> Some (m, s)
+  | Longident.Ldot (Longident.Ldot (_, m), s) -> Some (m, s)
+  | Longident.Lident _ | Longident.Ldot (Longident.Lapply _, _) | Longident.Lapply _ -> None
+
+let pattern_vars p =
+  let acc = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self pat ->
+          (match pat.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } -> acc := txt :: !acc
+          | Parsetree.Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self pat);
+    }
+  in
+  iter.pat iter p;
+  !acc
+
+(* ---- suppressions ---------------------------------------------------- *)
+
+type suppressions = (int, string list) Hashtbl.t
+
+let marker = "dipp-lint:"
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let is_rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+let rule_tokens rest =
+  (* split on anything that cannot appear in a rule id; stops cleanly at "*)" *)
+  let toks = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_rule_char c then Buffer.add_char buf c else flush ()) rest;
+  flush ();
+  List.rev !toks
+
+let suppressions_of_source src : suppressions =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      match find_sub line marker with
+      | None -> ()
+      | Some j -> (
+          let rest = String.sub line (j + String.length marker) (String.length line - j - String.length marker) in
+          match rule_tokens rest with
+          | "allow" :: (_ :: _ as rules) -> Hashtbl.replace tbl (i + 1) rules
+          | _ -> ()))
+    (String.split_on_char '\n' src);
+  tbl
+
+let suppressed tbl ~line ~rule =
+  let covers l =
+    match Hashtbl.find_opt tbl l with
+    | Some rules -> List.mem rule rules || List.mem "all" rules
+    | None -> false
+  in
+  covers line || covers (line - 1)

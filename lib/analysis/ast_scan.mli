@@ -1,0 +1,34 @@
+(** Parsing and shared AST plumbing for the lint rules.
+
+    Built on compiler-libs: sources are parsed with the compiler's own
+    parser, so anything that builds also lints, and locations match the
+    compiler's diagnostics exactly. *)
+
+val parse_string : filename:string -> string -> Parsetree.structure
+(** Parses an implementation; [filename] seeds the locations.  Raises the
+    compiler's located exceptions (e.g. [Syntaxerr.Error]) on bad input. *)
+
+val parse_file : string -> Parsetree.structure
+
+val ident_path : Longident.t -> string
+(** Dotted rendering, e.g. ["Graph.fold_edges"].  [Lapply] renders with
+    parentheses and never matches any rule pattern. *)
+
+val last_two : Longident.t -> (string * string) option
+(** The last two components of a dotted path: [Some ("Graph", "edges")]
+    for [Dipp_graph.Graph.edges]; [None] for unqualified idents. *)
+
+val pattern_vars : Parsetree.pattern -> string list
+(** Every value name the pattern binds ([Ppat_var] and [Ppat_alias]). *)
+
+(** {2 Suppressions}
+
+    A comment [(* dipp-lint: allow <rule> [<rule> ...] *)] on the same
+    line as a finding, or on the line directly above it, silences the
+    named rules there; [allow all] silences every rule. *)
+
+type suppressions
+
+val suppressions_of_source : string -> suppressions
+
+val suppressed : suppressions -> line:int -> rule:string -> bool

@@ -1,0 +1,172 @@
+type rule = { id : string; summary : string }
+
+let rules =
+  [
+    {
+      id = Locality.rule_traversal;
+      summary =
+        "decision functions must not enumerate global graph state (Graph.edges / fold_edges / \
+         iter_edges); use the per-node neighbor API";
+    };
+    {
+      id = Locality.rule_index;
+      summary =
+        "array subscripts inside decision functions must be built from locally bound node ids \
+         (the decision node or a bound neighbor), not captured globals";
+    };
+    {
+      id = "rng";
+      summary = "no direct Random.* use outside lib/util/rng.ml; draw through the seeded Rng";
+    };
+    { id = "obj-magic"; summary = "no Obj.* unsafe casts" };
+    {
+      id = "poly-compare";
+      summary =
+        "no bare polymorphic compare, and no structural =/<> against list/record literals or on \
+         Graph/Bits values; use typed comparisons (Int.compare, Graph.equal, Bits.equal) or a match";
+    };
+    {
+      id = "partial";
+      summary =
+        "no unguarded partial stdlib calls (List.tl, List.combine, Option.get); destructure with \
+         a pattern match";
+    };
+    { id = "missing-mli"; summary = "every library module ships a .mli interface" };
+    { id = "parse-error"; summary = "the file must parse with the project's compiler" };
+  ]
+
+(* ---- hygiene rules ---------------------------------------------------- *)
+
+let rec path_head = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (p, _) | Longident.Lapply (p, _) -> path_head p
+
+let is_partial_path lid =
+  match Ast_scan.last_two lid with
+  | Some ("List", ("tl" | "combine")) | Some ("Option", "get") -> true
+  | Some _ -> false
+  | None -> (match lid with Longident.Lident _ -> false | _ -> false)
+
+let is_bare_compare lid =
+  match lid with
+  | Longident.Lident "compare" -> true
+  | _ -> ( match Ast_scan.last_two lid with Some ("Stdlib", "compare") -> true | _ -> false)
+
+(* Structural literals: comparing against these with polymorphic [=] is
+   the [!rejecting = []] failure mode — a match (or List.is_empty) says
+   the same thing totally and without structural comparison. *)
+let is_structural_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("[]" | "::"); _ }, _) -> true
+  | Pexp_record _ -> true
+  | _ -> false
+
+(* Bits functions with scalar results are safe to compare with [=]. *)
+let scalar_bits = [ "length"; "to_int"; "to_string"; "get"; "equal"; "compare"; "popcount" ]
+
+let structural_head (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match Ast_scan.last_two txt with
+      | Some ("Graph", (("neighbors" | "edges") as f)) -> Some ("Graph." ^ f)
+      | Some ("Bits", f) when not (List.mem f scalar_bits) -> Some ("Bits." ^ f)
+      | Some _ | None -> None)
+  | _ -> None
+
+let hygiene ~filename structure =
+  let findings = ref [] in
+  let add ~loc rule msg = findings := Report.finding ~loc ~rule msg :: !findings in
+  let in_rng_module = Filename.basename filename = "rng.ml" in
+  let check_ident ~loc txt =
+    let path = Ast_scan.ident_path txt in
+    if path_head txt = "Obj" then
+      add ~loc "obj-magic" (Printf.sprintf "`%s` defeats the type system; model the data instead" path);
+    if path_head txt = "Random" && not in_rng_module then
+      add ~loc "rng"
+        (Printf.sprintf
+           "direct `%s` breaks seeded reproducibility; draw through Rng (lib/util/rng.ml)" path);
+    if is_partial_path txt then
+      add ~loc "partial"
+        (Printf.sprintf "`%s` raises on the empty case; destructure with a pattern match" path);
+    if is_bare_compare txt then
+      add ~loc "poly-compare"
+        "bare polymorphic `compare`; use a typed comparison (Int.compare, String.compare, a \
+         record-aware comparator, ...)"
+  in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident ~loc txt
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ }; _ },
+          [ (_, a); (_, b) ] ) ->
+        if is_structural_literal a || is_structural_literal b then
+          add ~loc:e.pexp_loc "poly-compare"
+            (Printf.sprintf
+               "structural `%s` against a list/record literal; pattern-match (or List.is_empty) \
+                instead" op)
+        else (
+          match (structural_head a, structural_head b) with
+          | Some p, _ | _, Some p ->
+              add ~loc:e.pexp_loc "poly-compare"
+                (Printf.sprintf
+                   "structural `%s` on the result of `%s`; use the module's own equality \
+                    (Graph.equal, Bits.equal, ...)"
+                   op p)
+          | None, None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.structure iter structure;
+  !findings
+
+(* ---- entry points ----------------------------------------------------- *)
+
+let parse_error_finding ~filename exn =
+  let loc =
+    match exn with
+    | Syntaxerr.Error err -> Syntaxerr.location_of_error err
+    | Lexer.Error (_, loc) -> loc
+    | _ -> Location.in_file filename
+  in
+  Report.finding ~loc ~rule:"parse-error" (Printexc.to_string exn)
+
+let ast_findings ~filename src =
+  match Ast_scan.parse_string ~filename src with
+  | structure -> Locality.check structure @ hygiene ~filename structure
+  | exception exn -> [ parse_error_finding ~filename exn ]
+
+let apply_suppressions supp findings =
+  List.filter
+    (fun (f : Report.finding) -> not (Ast_scan.suppressed supp ~line:f.line ~rule:f.rule))
+    findings
+
+let lint_source ~filename src =
+  apply_suppressions (Ast_scan.suppressions_of_source src) (ast_findings ~filename src)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?(check_mli = true) path =
+  let src = read_file path in
+  let supp = Ast_scan.suppressions_of_source src in
+  let mli =
+    if check_mli && Filename.check_suffix path ".ml" && not (Sys.file_exists (path ^ "i")) then
+      [ { Report.file = path; line = 1; col = 0; rule = "missing-mli"; msg = "module has no .mli interface; write one to pin the public surface" } ]
+    else []
+  in
+  apply_suppressions supp (mli @ ast_findings ~filename:path src)
+
+let lint_tree root =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
+      |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
+    else if Filename.check_suffix path ".ml" then List.rev_append (lint_file path) acc
+    else acc
+  in
+  List.rev (walk [] root)

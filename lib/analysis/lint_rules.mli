@@ -1,0 +1,39 @@
+(** The dipp-lint rule set and entry points.
+
+    Rules (see ANALYSIS.md for the model-level rationale):
+    - [locality-traversal], [locality-index] — the DIP locality audit
+      ({!Locality});
+    - [rng] — randomness only through [Rng] ([lib/util/rng.ml]); direct
+      [Random.*] calls break seeded reproducibility of soundness-error
+      estimates;
+    - [obj-magic] — no [Obj.magic] (or any [Obj.*] cast);
+    - [poly-compare] — no bare polymorphic [compare], and no structural
+      [=]/[<>] on a dereferenced ref or on [Graph.*]/[Bits.*] values that
+      carry structure (use [Graph.equal], [Bits.equal] or a match);
+    - [partial] — no unguarded partial stdlib calls ([List.tl],
+      [List.combine], [Option.get]); destructure with a pattern match
+      instead;
+    - [missing-mli] — every library module ships an interface;
+    - [parse-error] — the file does not parse (reported as a finding so
+      a broken tree fails the lint gate rather than crashing it).
+
+    Suppression: [(* dipp-lint: allow <rule> [<rule> ...] *)] on the
+    finding's line or the line above ([allow all] covers every rule). *)
+
+type rule = { id : string; summary : string }
+
+val rules : rule list
+(** Every rule this linter knows, for [--list-rules] and the docs. *)
+
+val lint_source : filename:string -> string -> Report.finding list
+(** Parses and lints one implementation given as a string; suppressions
+    are applied.  The [missing-mli] check needs a filesystem context and
+    is not run here. *)
+
+val lint_file : ?check_mli:bool -> string -> Report.finding list
+(** Lints a file on disk.  With [check_mli] (default [true]) a missing
+    sibling [.mli] is reported at line 1 (suppressible by an [allow]
+    comment on the first line). *)
+
+val lint_tree : string -> Report.finding list
+(** Recursively lints every [.ml] under a directory root. *)

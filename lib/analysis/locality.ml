@@ -1,0 +1,156 @@
+module StrSet = Set.Make (String)
+
+let rule_traversal = "locality-traversal"
+let rule_index = "locality-index"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let is_decision_name n =
+  starts_with ~prefix:"decide" n || starts_with ~prefix:"verify" n || ends_with ~suffix:"_check" n
+
+(* Global edge enumeration: the whole-graph escape hatches of the Graph
+   API.  Qualified uses only — an unqualified [edges] is a local binding. *)
+let is_global_traversal lid =
+  match Ast_scan.last_two lid with
+  | Some ("Graph", ("edges" | "fold_edges" | "iter_edges")) -> true
+  | Some _ | None -> false
+
+let is_array_access lid =
+  match lid with
+  | Longident.Ldot (Longident.Lident "Array", ("get" | "unsafe_get" | "set" | "unsafe_set")) -> true
+  | _ -> false
+
+(* Word-shaped infix operators parse as plain identifiers. *)
+let word_operators =
+  StrSet.of_list [ "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "or"; "not" ]
+
+(* Pure arithmetic helpers that cannot smuggle in non-local state. *)
+let allowed_free = StrSet.of_list [ "min"; "max"; "abs"; "succ"; "pred"; "fst"; "snd" ]
+
+let is_operator_name x =
+  x <> ""
+  && (StrSet.mem x word_operators
+     || match x.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> false | _ -> true)
+
+(* Offending identifiers in an index expression: anything free that is
+   neither an operator, a whitelisted helper, nor module-qualified.
+   Nested array reads are skipped here — the main walk visits them and
+   checks their own subscripts. *)
+let rec index_offenders env (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ | Pexp_construct (_, None) -> []
+  | Pexp_ident { txt = Longident.Lident x; _ } ->
+      if StrSet.mem x env || is_operator_name x || StrSet.mem x allowed_free then [] else [ x ]
+  | Pexp_ident _ -> []
+  | Pexp_field (base, _) -> index_offenders env base
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      if is_array_access txt then []
+      else
+        let head =
+          match txt with
+          | Longident.Lident x
+            when not
+                   (StrSet.mem x env || is_operator_name x || StrSet.mem x allowed_free) ->
+              [ x ]
+          | _ -> []
+        in
+        head @ List.concat_map (fun (_, a) -> index_offenders env a) args
+  | Pexp_tuple es -> List.concat_map (index_offenders env) es
+  | Pexp_constraint (e', _) -> index_offenders env e'
+  | Pexp_ifthenelse (c, t, f) ->
+      index_offenders env c @ index_offenders env t
+      @ (match f with Some f -> index_offenders env f | None -> [])
+  | Pexp_match (scrut, cases) ->
+      index_offenders env scrut
+      @ List.concat_map
+          (fun (c : Parsetree.case) ->
+            index_offenders (StrSet.union env (StrSet.of_list (Ast_scan.pattern_vars c.pc_lhs))) c.pc_rhs)
+          cases
+  | _ -> [ "<complex index expression>" ]
+
+(* Scoped walk of a decision-function body.  [env] holds every name bound
+   inside the function (parameters included); anything else is outer
+   state.  Constructs that do not bind values fall through to the default
+   iterator with the same environment. *)
+let walk_decision ~add body0 env0 =
+  let rec walk env (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> if is_global_traversal txt then add ~loc rule_traversal
+          (Printf.sprintf "global edge traversal `%s` inside a decision function; a node may only inspect its neighborhood (Graph.neighbors/degree/mem_edge)" (Ast_scan.ident_path txt))
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as f), ((_, _) :: (_, idx) :: _ as args))
+      when is_array_access txt ->
+        (match index_offenders env idx with
+        | [] -> ()
+        | offenders ->
+            add ~loc:e.pexp_loc rule_index
+              (Printf.sprintf
+                 "array subscript reaches outside the node's local view (non-local: %s); index labels/coins by the decision node or a bound neighbor"
+                 (String.concat ", " (List.sort_uniq String.compare offenders))));
+        walk env f;
+        List.iter (fun (_, a) -> walk env a) args
+    | Pexp_let (rf, vbs, body) ->
+        let bound =
+          List.concat_map (fun (vb : Parsetree.value_binding) -> Ast_scan.pattern_vars vb.pvb_pat) vbs
+        in
+        let env' = StrSet.union env (StrSet.of_list bound) in
+        let env_rhs = match rf with Asttypes.Recursive -> env' | Asttypes.Nonrecursive -> env in
+        List.iter (fun (vb : Parsetree.value_binding) -> walk env_rhs vb.pvb_expr) vbs;
+        walk env' body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (walk env) default;
+        walk (StrSet.union env (StrSet.of_list (Ast_scan.pattern_vars pat))) body
+    | Pexp_function cases -> walk_cases env cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        walk env scrut;
+        walk_cases env cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+        walk env lo;
+        walk env hi;
+        walk (StrSet.union env (StrSet.of_list (Ast_scan.pattern_vars pat))) body
+    | _ ->
+        let self = { Ast_iterator.default_iterator with expr = (fun _ e' -> walk env e') } in
+        Ast_iterator.default_iterator.expr self e
+  and walk_cases env cases =
+    List.iter
+      (fun (c : Parsetree.case) ->
+        let env' = StrSet.union env (StrSet.of_list (Ast_scan.pattern_vars c.pc_lhs)) in
+        Option.iter (walk env') c.pc_guard;
+        walk env' c.pc_rhs)
+      cases
+  in
+  walk env0 body0
+
+(* Peels the parameter chain of a function binding; [None] when the
+   binding is a plain value (those are covered by the enclosing scan). *)
+let rec peel_params acc (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) -> peel_params (Ast_scan.pattern_vars pat @ acc) body
+  | Pexp_newtype (_, body) -> peel_params acc body
+  | Pexp_function _ -> Some (acc, e)
+  | _ -> ( match acc with [] -> None | _ :: _ -> Some (acc, e))
+
+let check structure =
+  let findings = ref [] in
+  let add ~loc rule msg = findings := Report.finding ~loc ~rule msg :: !findings in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self (vb : Parsetree.value_binding) ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = name; _ } when is_decision_name name -> (
+              match peel_params [] vb.pvb_expr with
+              | Some (params, body) ->
+                  walk_decision ~add body (StrSet.of_list (name :: params))
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  iter.structure iter structure;
+  !findings

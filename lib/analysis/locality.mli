@@ -1,0 +1,33 @@
+(** The DIP-model locality audit (rules [locality-traversal] and
+    [locality-index]).
+
+    In the Kol–Oshman–Saxena model a verifier's decision at node [v] may
+    read only [v]'s own coins and labels and its graph neighbors' labels.
+    The audit approximates this syntactically inside every {e decision
+    function} — a function binding whose name matches [decide*], [verify*]
+    or [*_check]:
+
+    - [locality-traversal]: no global edge enumeration; any reference to
+      [Graph.edges], [Graph.fold_edges] or [Graph.iter_edges] (under any
+      module prefix ending in [Graph]) is flagged.  Neighborhood access
+      must go through the sanctioned per-node API ([Graph.neighbors],
+      [Graph.degree], [Graph.mem_edge], ...).
+    - [locality-index]: every array subscript must be built from
+      locally bound variables (the decision function's parameters and
+      bindings introduced inside it — e.g. a neighbor obtained from
+      [Graph.neighbors g v]), constants, operators and nested sanctioned
+      reads.  A subscript mentioning an identifier captured from outside
+      the function (a "global" node id) escapes the neighbor view and is
+      flagged.
+
+    This is an approximation: it cannot prove that a locally bound index
+    denotes a genuine neighbor, but it catches the failure mode that
+    invalidates soundness claims — addressing label/coin arrays with
+    state that did not flow through the node's own view. *)
+
+val rule_traversal : string
+val rule_index : string
+
+val is_decision_name : string -> bool
+
+val check : Parsetree.structure -> Report.finding list

@@ -1,0 +1,31 @@
+type finding = { file : string; line : int; col : int; rule : string; msg : string }
+
+let finding ~loc ~rule msg =
+  let p = loc.Location.loc_start in
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    msg;
+  }
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with 0 -> String.compare a.rule b.rule | c -> c)
+      | c -> c)
+  | c -> c
+
+let compare = compare_findings
+
+let pp ppf f = Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let pp_report ppf findings =
+  let sorted = List.sort_uniq compare_findings findings in
+  List.iter (Format.fprintf ppf "%a@." pp) sorted;
+  match sorted with
+  | [] -> Format.fprintf ppf "dipp-lint: no findings@."
+  | _ :: _ -> Format.fprintf ppf "dipp-lint: %d finding(s)@." (List.length sorted)

@@ -91,8 +91,8 @@ let run ?label_bits inst =
     let lefts = List.sort Int.compare (List.filter (fun x -> x < my) edges) in
     (* equal labels (possible when truncated): treated as inconsistent *)
     if List.exists (fun x -> x = my) edges then fail ();
-    if has_right.(v) <> (rights <> []) then fail ();
-    if has_left.(v) <> (lefts <> []) then fail ();
+    if has_right.(v) <> not (List.is_empty rights) then fail ();
+    if has_left.(v) <> not (List.is_empty lefts) then fail ();
     let ab = above_lbl v in
     (* 3: strict span *)
     (match ab with Some (x, y) -> if not (x < my && my < y) then fail () | None -> ());

@@ -65,6 +65,11 @@ type stats = {
   per_phase : (phase * int) list;
 }
 
+(* Zip that stops at the shorter list: the two meter lists grow in
+   lockstep, but a truncated or hand-built stats value must not raise. *)
+let rec zip_min a b =
+  match (a, b) with x :: xs, y :: ys -> (x, y) :: zip_min xs ys | _, _ -> []
+
 let stats m =
   {
     interaction_rounds = List.length m.phases_rev;
@@ -73,7 +78,7 @@ let stats m =
     total_prover_bits = m.total_prover;
     total_verifier_bits = m.total_verifier;
     phases = List.rev m.phases_rev;
-    per_phase = List.combine (List.rev m.phases_rev) (List.rev m.phase_max_rev);
+    per_phase = zip_min (List.rev m.phases_rev) (List.rev m.phase_max_rev);
   }
 
 type verdict = { accepted : bool; rejecting : int list }
@@ -83,14 +88,30 @@ let all_accept ~n decide =
   for v = n - 1 downto 0 do
     if not (decide v) then rejecting := v :: !rejecting
   done;
-  { accepted = !rejecting = []; rejecting = !rejecting }
+  let accepted = match !rejecting with [] -> true | _ :: _ -> false in
+  { accepted; rejecting = !rejecting }
+
+(* Round-by-round merge of two per-phase schedules: parallel repetitions
+   run their rounds simultaneously, so the label sent in round i of the
+   combination concatenates the round-i labels and its phase-max bits add.
+   Rounds past the shorter schedule are kept as-is from the longer one. *)
+let merge_per_phase a b =
+  let long, short = if List.length a >= List.length b then (a, b) else (b, a) in
+  let rec go l s =
+    match (l, s) with
+    | rest, [] -> rest
+    | [], _ :: _ -> []
+    | (ph, bits) :: tl, (_, bits') :: ts -> (ph, bits + bits') :: go tl ts
+  in
+  go long short
 
 let merge_parallel stats_list =
   match stats_list with
   | [] -> invalid_arg "Dip.merge_parallel"
-  | first :: _ ->
+  | first :: rest ->
       List.fold_left
         (fun acc s ->
+          let per_phase = merge_per_phase acc.per_phase s.per_phase in
           {
             interaction_rounds = max acc.interaction_rounds s.interaction_rounds;
             proof_size_bits = acc.proof_size_bits + s.proof_size_bits;
@@ -99,11 +120,9 @@ let merge_parallel stats_list =
             total_verifier_bits = acc.total_verifier_bits + s.total_verifier_bits;
             phases =
               (if List.length acc.phases >= List.length s.phases then acc.phases else s.phases);
-            per_phase =
-              (if List.length acc.per_phase >= List.length s.per_phase then acc.per_phase
-               else s.per_phase);
+            per_phase;
           })
-        first (List.tl stats_list)
+        first rest
 
 let pp_stats ppf s =
   Format.fprintf ppf "rounds=%d proof=%db node-total=%db prover-total=%db coins=%db"

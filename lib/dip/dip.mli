@@ -64,4 +64,7 @@ val merge_parallel : stats list -> stats
 (** Stats of protocols executed in parallel (same rounds, labels
     concatenated per phase): rounds = max, label sizes and totals add.
     The proof size is the sum of component proof sizes — an upper bound on
-    the true concatenated maximum that preserves every asymptotic claim. *)
+    the true concatenated maximum that preserves every asymptotic claim.
+    [per_phase] is merged round by round (summing the per-round phase
+    maxima, since round-i labels concatenate); rounds beyond the shorter
+    schedule are kept from the longer one, whose phase kinds also win. *)

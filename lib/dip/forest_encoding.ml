@@ -106,7 +106,7 @@ let children_of ~own ~nbrs =
 
 let locally_wellformed ~own ~nbrs =
   let cands = parent_candidates ~own ~nbrs in
-  if own.root then cands = [] else List.length cands = 1
+  if own.root then List.is_empty cands else List.length cands = 1
 
 let decode_forest g labels =
   let n = Graph.n g in

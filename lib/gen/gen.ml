@@ -11,7 +11,7 @@ let lr_yes ~n ?(arcs_factor = 2) seed =
     let u = min a b and v = max a b in
     if v - u >= 2 then arcs := (u, v) :: !arcs
   done;
-  (path, List.sort_uniq compare !arcs)
+  (path, List.sort_uniq Graph.compare_edge !arcs)
 
 let lr_no ~n ?(arcs_factor = 2) seed =
   let path, arcs = lr_yes ~n ~arcs_factor seed in
@@ -41,7 +41,7 @@ let nested_chords rng n =
 let path_outerplanar ~n seed =
   let rng = Rng.create seed in
   let edges = List.init (n - 1) (fun i -> (i, i + 1)) @ nested_chords rng n in
-  (Graph.create ~n (List.sort_uniq compare edges), List.init n Fun.id)
+  (Graph.create ~n (List.sort_uniq Graph.compare_edge edges), List.init n Fun.id)
 
 let path_crossing ~n seed =
   if n < 8 then invalid_arg "Gen.path_crossing";
@@ -72,7 +72,8 @@ let outerplanar ~blocks seed =
     edges := block_edges rng size offset @ !edges;
     next := offset + size
   done;
-  Graph.create ~n:!next (List.sort_uniq compare (List.map (fun (a, b) -> Graph.normalize_edge a b) !edges))
+  Graph.create ~n:!next
+    (List.sort_uniq Graph.compare_edge (List.map (fun (a, b) -> Graph.normalize_edge a b) !edges))
 
 let outerplanar_no ~blocks seed =
   let g = outerplanar ~blocks seed in
@@ -82,7 +83,8 @@ let outerplanar_no ~blocks seed =
 let biconnected_outerplanar ~n seed =
   let rng = Rng.create seed in
   Graph.create ~n
-    (List.sort_uniq compare (List.map (fun (a, b) -> Graph.normalize_edge a b) (block_edges rng n 0)))
+    (List.sort_uniq Graph.compare_edge
+       (List.map (fun (a, b) -> Graph.normalize_edge a b) (block_edges rng n 0)))
 
 let maximal_outerplanar ~n seed =
   match Outerplanar.triangulate (biconnected_outerplanar ~n seed) with

@@ -35,7 +35,7 @@ let compute g =
     low.(root) <- !counter;
     incr counter;
     let root_children = ref 0 in
-    while !stack <> [] do
+    while not (List.is_empty !stack) do
       match !stack with
       | [] -> ()
       | (v, parent, idx) :: rest ->
@@ -199,7 +199,7 @@ let is_biconnected_chains g =
         let module ES = Set.Make (struct
           type t = Graph.edge
 
-          let compare = compare
+          let compare = Graph.compare_edge
         end) in
         let covered = ref ES.empty in
         List.iter

@@ -1,7 +1,7 @@
 module Arc_set = Set.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare (a1, b1) (a2, b2) = match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
 end)
 
 type t = { n : int; out : int array array; inn : int array array; m : int }

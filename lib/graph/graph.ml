@@ -6,10 +6,13 @@ let normalize_edge u v =
   if u = v then invalid_arg "Graph: self-loop";
   if u < v then (u, v) else (v, u)
 
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 module Edge_set = Set.Make (struct
   type t = edge
 
-  let compare = compare
+  let compare = compare_edge
 end)
 
 let dedup_edges n es =

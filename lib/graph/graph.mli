@@ -35,6 +35,10 @@ val iter_edges : (edge -> unit) -> t -> unit
 
 val normalize_edge : int -> int -> edge
 
+val compare_edge : edge -> edge -> int
+(** Lexicographic; the typed comparator for edge sets/maps and sorts
+    (never use polymorphic [compare] on edges). *)
+
 val add_edges : t -> edge list -> t
 val remove_edges : t -> edge list -> t
 

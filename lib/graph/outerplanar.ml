@@ -37,11 +37,11 @@ let hamiltonian_cycle g =
                 let inserted = ref false in
                 for i = k - 1 downto 0 do
                   let x = arr.(i) and y = arr.((i + 1) mod k) in
-                  out := x :: !out;
                   if (not !inserted) && ((x = a && y = b) || (x = b && y = a)) then begin
-                    out := x :: v :: List.tl !out;
+                    out := x :: v :: !out;
                     inserted := true
                   end
+                  else out := x :: !out
                 done;
                 if !inserted then Some !out else None)
     in
@@ -106,7 +106,7 @@ let check_path_witness g path =
             stack := r :: !stack)
           (List.sort (fun a b -> Int.compare b a) starting.(p))
       done;
-      !ok && !stack = []
+      !ok && List.is_empty !stack
 
 let path_of_cycle_cut cyc ~cut_after =
   (* cycle [c0..ck-1]; remove the cycle edge between positions cut_after and
@@ -186,13 +186,13 @@ let path_witness g =
             bc.Biconnectivity.components.(b)
         in
         let exit = match cuts with [] -> None | [ v ] -> Some v | _ -> None in
-        if cuts <> [] && exit = None then None
+        if (not (List.is_empty cuts)) && exit = None then None
         else
           match block_path g bc.Biconnectivity.components.(b) ~start_:entry ~stop:exit with
           | None -> None
           | Some p -> (
               (* drop the entry node (already emitted by the previous block) *)
-              let p' = match entry with Some _ -> List.tl p | None -> p in
+              let p' = match (entry, p) with Some _, _ :: rest -> rest | _, _ -> p in
               let acc = acc @ p' in
               match exit with
               | None -> Some acc
@@ -263,7 +263,8 @@ let triangulate g =
         let module IS = Set.Make (struct
           type t = int * int
 
-          let compare = compare
+          let compare (a1, b1) (a2, b2) =
+            match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
         end) in
         let have = ref (List.fold_left (fun s iv -> IS.add iv s) IS.empty sorted) in
         let added = ref [] in

@@ -136,7 +136,11 @@ let split_face f path =
     go 0
   in
   let ia = idx a and ib = idx b in
-  let interior = List.tl (List.rev (List.tl (List.rev path))) in
+  let interior =
+    match path with
+    | [] | [ _ ] -> []
+    | _ :: tl -> ( match List.rev tl with [] -> [] | _ :: rev_mid -> List.rev rev_mid)
+  in
   (* Walk a -> ... -> b along the face. *)
   let seg_ab =
     let len = ((ib - ia + r) mod r) + 1 in
@@ -181,7 +185,7 @@ let embed_biconnected g =
       (* Pick a fragment with exactly one admissible face if any; otherwise
          any fragment; zero admissible faces anywhere => nonplanar. *)
       let scored = List.map (fun fr -> (fr, admissible !faces fr)) frags in
-      if List.exists (fun (_, adm) -> adm = []) scored then ok := false
+      if List.exists (fun (_, adm) -> List.is_empty adm) scored then ok := false
       else begin
         let fr, adm =
           match List.find_opt (fun (_, adm) -> List.length adm = 1) scored with

@@ -14,7 +14,7 @@ let rec edges_of_sp = function
 
 let graph_of_sp ~n t =
   let es = edges_of_sp t in
-  let sorted = List.sort compare es in
+  let sorted = List.sort Graph.compare_edge es in
   let rec dup = function a :: (b :: _ as r) -> a = b || dup r | _ -> false in
   if dup sorted then invalid_arg "Series_parallel.graph_of_sp: repeated edge";
   Graph.create ~n es
@@ -149,7 +149,9 @@ let rec ears_of_sp_aux t =
   | Edge (u, v) -> ([ u; v ], [])
   | Series (a, b) ->
       let f1, r1 = ears_of_sp_aux a and f2, r2 = ears_of_sp_aux b in
-      (f1 @ List.tl f2, r1 @ r2)
+      (* the first ear is never empty (Edge yields [u; v]) *)
+      let rest2 = match f2 with [] -> [] | _ :: rest -> rest in
+      (f1 @ rest2, r1 @ r2)
   | Parallel (a, b) ->
       let f1, r1 = ears_of_sp_aux a and f2, r2 = ears_of_sp_aux b in
       (f1, (f2 :: r2) @ r1)
@@ -168,7 +170,7 @@ let check_nested_ears g ears =
       let module ES = Set.Make (struct
         type t = Graph.edge
 
-        let compare = compare
+        let compare = Graph.compare_edge
       end) in
       (* Structural: each ear a simple path along edges; edge partition. *)
       let covered = ref ES.empty in

@@ -75,7 +75,7 @@ let dfs_order g root =
 
 let hamiltonian_path_of_edges ~n es =
   if n = 0 then None
-  else if n = 1 then if es = [] then Some [ 0 ] else None
+  else if n = 1 then if List.is_empty es then Some [ 0 ] else None
   else begin
     let deg = Array.make n 0 in
     let adj = Array.make n [] in

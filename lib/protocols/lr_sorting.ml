@@ -75,7 +75,6 @@ module Layout = struct
     pos : int array;  (* node -> path position *)
     blk : int array;  (* node -> block id *)
     idx : int array;  (* node -> 1-based index within its block *)
-    block_size : int array;
   }
 
   let make params inst =
@@ -84,9 +83,7 @@ module Layout = struct
     let blk = Array.map (fun p -> min (p / bsize) (nb - 1)) pos in
     let idx = Array.make inst.n 0 in
     Array.iteri (fun v p -> idx.(v) <- p - (blk.(v) * bsize) + 1) pos;
-    let block_size = Array.make nb bsize in
-    block_size.(nb - 1) <- inst.n - ((nb - 1) * bsize);
-    { params; pos; blk; idx; block_size }
+    { params; pos; blk; idx }
 
   (* bit j (1-based, MSB first) of a B-bit value *)
   let bit_at t x j = shift_right_safe x (t.params.Params.block - j) land 1 = 1
@@ -275,10 +272,13 @@ type result = {
   transcript : (Dip.phase * Bits.t array) list;
 }
 
+let compare_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 module Arc_map = Map.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare = compare_pair
 end)
 
 let prefix_upto (pa : Params.t) f x r i =
@@ -408,10 +408,17 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
 
   (* ---- Round 3 (prover): broadcasts, prefix evaluations, commitments ---- *)
   let leftmost_node = inst.path.(0) in
-  let r = Option.get coins2.(leftmost_node).r and rp = Option.get coins2.(leftmost_node).rp in
+  let r, rp =
+    (* the leftmost path node always draws r and r' in round 2 *)
+    match (coins2.(leftmost_node).r, coins2.(leftmost_node).rp) with
+    | Some r, Some rp -> (r, rp)
+    | None, _ | _, None -> assert false
+  in
   let block_leader = Array.make pa.Params.nblocks (-1) in
   Array.iteri (fun v i -> if i = 1 then block_leader.(blk.(v)) <- v) idx;
-  let rb_of_block = Array.map (fun l -> Option.get coins2.(l).rb) block_leader in
+  let rb_of_block =
+    Array.map (fun l -> match coins2.(l).rb with Some rb -> rb | None -> assert false) block_leader
+  in
   let r3 : r3_node array =
     Array.init n (fun v ->
         let b = blk.(v) in
@@ -451,7 +458,9 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
     (Array.map (fun (cn : coins4) -> match cn.z with Some z -> Bits.of_int ~width:wq z | None -> Bits.empty) coins4);
 
   (* ---- Round 5 (prover): verification-scheme multiset equalities ---- *)
-  let z_of_block = Array.map (fun l -> Option.get coins4.(l).z) block_leader in
+  let z_of_block =
+    Array.map (fun l -> match coins4.(l).z with Some z -> z | None -> assert false) block_leader
+  in
   (* Encoded element of a committed pair. *)
   let enc (i, j) = ((i - 1) * p.Fp.p) + j in
   (* Per node: its S1 contributions (deduped by index) on each side. *)
@@ -465,7 +474,7 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
           out_arcs.(u) <- (i, jv) :: out_arcs.(u);
           in_arcs.(v) <- (i, jv) :: in_arcs.(v))
     inst.arcs;
-  let dedupe pairs = List.sort_uniq compare pairs in
+  let dedupe pairs = List.sort_uniq compare_pair pairs in
   let s1_head v = List.map enc (dedupe in_arcs.(v)) in
   let s1_tail v = List.map enc (dedupe out_arcs.(v)) in
   let phi_left v =
@@ -543,8 +552,8 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
     (* E1: global broadcasts *)
     (match left_nbr v with
     | None ->
-        if own3.r_e <> Option.get coins2.(v).r then fail ();
-        if own3.rp_e <> Option.get coins2.(v).rp then fail ()
+        (match coins2.(v).r with Some r0 -> if own3.r_e <> r0 then fail () | None -> fail ());
+        (match coins2.(v).rp with Some rp0 -> if own3.rp_e <> rp0 then fail () | None -> fail ())
     | Some u ->
         if own3.r_e <> r3.(u).r_e then fail ();
         if own3.rp_e <> r3.(u).rp_e then fail ());
@@ -597,7 +606,7 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
     List.iter (fun (i, _) -> if i < 1 || i > bsize then fail ()) (in_pairs @ out_pairs);
     let indexes ps = List.sort_uniq Int.compare (List.map fst ps) in
     let conflict ps =
-      List.exists (fun i -> List.length (List.sort_uniq compare (List.filter (fun (i', _) -> i' = i) ps)) > 1) (indexes ps)
+      List.exists (fun i -> List.length (List.sort_uniq compare_pair (List.filter (fun (i', _) -> i' = i) ps)) > 1) (indexes ps)
     in
     if conflict in_pairs || conflict out_pairs then fail ();
     if List.exists (fun i -> List.mem i (indexes out_pairs)) (indexes in_pairs) then fail ();

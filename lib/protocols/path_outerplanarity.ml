@@ -15,7 +15,7 @@ type result = {
 module Edge_map = Map.Make (struct
   type t = Graph.edge
 
-  let compare = compare
+  let compare = Graph.compare_edge
 end)
 
 type edge_data = {
@@ -347,14 +347,14 @@ let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
     let rights = List.filter (fun d -> d.tail = v) incident in
     let lefts = List.filter (fun d -> d.head = v) incident in
     (* has-bits are self-checked *)
-    if has_right.(v) <> (rights <> []) then fail ();
-    if has_left.(v) <> (lefts <> []) then fail ();
+    if has_right.(v) <> not (List.is_empty rights) then fail ();
+    if has_left.(v) <> not (List.is_empty lefts) then fail ();
     (* own name component *)
     List.iter (fun d -> if not (Bits.equal (fst d.name) names.(v)) then fail ()) rights;
     List.iter (fun d -> if not (Bits.equal (snd d.name) names.(v)) then fail ()) lefts;
     (* marks: exactly one longest per non-empty side; duality *)
-    if rights <> [] && List.length (List.filter (fun d -> d.m_tail) rights) <> 1 then fail ();
-    if lefts <> [] && List.length (List.filter (fun d -> d.m_head) lefts) <> 1 then fail ();
+    if (not (List.is_empty rights)) && List.length (List.filter (fun d -> d.m_tail) rights) <> 1 then fail ();
+    if (not (List.is_empty lefts)) && List.length (List.filter (fun d -> d.m_head) lefts) <> 1 then fail ();
     List.iter (fun d -> if (not d.m_tail) && not d.m_head then fail ()) incident;
     (* successor chains per side; the chain ends at the longest-marked edge
        whose successor equals above(v) (condition 3) *)
@@ -372,11 +372,11 @@ let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
                 name_ok
                 &&
                 let rest = List.filter (fun d' -> d' != d) remaining in
-                if rest = [] then is_last d && pair_eq d.succ above_label.(v)
+                if List.is_empty rest then is_last d && pair_eq d.succ above_label.(v)
                 else (not (is_last d)) && (match d.succ with Some s -> go (Some s) rest | None -> false))
               remaining
       in
-      edges = [] || go start edges
+      List.is_empty edges || go start edges
     in
     let right_nbr = match children.(v) with [ c ] -> Some c | _ -> None in
     let left_nbr = if claimed_parent.(v) >= 0 then Some claimed_parent.(v) else None in

@@ -207,7 +207,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
       (fun j ->
         let ear = ears_arr.(j) in
         let len = Array.length ear in
-        if chords_of_host.(j) = [] || len < 3 then None
+        if List.is_empty chords_of_host.(j) || len < 3 then None
         else begin
           let index_on = Hashtbl.create 8 in
           Array.iteri (fun i v -> Hashtbl.replace index_on v i) ear;

@@ -35,7 +35,17 @@ let test_merge_parallel () =
   in
   let m = Dip.merge_parallel [ mk 3 10; mk 5 7 ] in
   Alcotest.(check int) "rounds max" 5 m.Dip.interaction_rounds;
-  Alcotest.(check int) "proof sums" 17 m.Dip.proof_size_bits
+  Alcotest.(check int) "proof sums" 17 m.Dip.proof_size_bits;
+  (* per-phase schedules merge round by round: phase maxima add on shared
+     rounds, the longer schedule's tail (and phase kinds) survive *)
+  let a =
+    { (mk 3 10) with Dip.per_phase = [ (Dip.Prover_phase, 10); (Dip.Verifier_phase, 2); (Dip.Prover_phase, 4) ] }
+  and b = { (mk 2 7) with Dip.per_phase = [ (Dip.Prover_phase, 7); (Dip.Verifier_phase, 3) ] } in
+  let m2 = Dip.merge_parallel [ a; b ] in
+  Alcotest.(check (list (pair bool int)))
+    "per-phase merged per round"
+    [ (true, 17); (false, 5); (true, 4) ]
+    (List.map (fun (ph, bits) -> (ph = Dip.Prover_phase, bits)) m2.Dip.per_phase)
 
 let test_all_accept () =
   let v = Dip.all_accept ~n:5 (fun i -> i <> 2 && i <> 4) in

@@ -1,0 +1,172 @@
+(* dipp-lint: the static DIP-model-compliance analyzer (ANALYSIS.md).
+
+   Fixture snippets check that every rule fires on known-bad code and
+   stays quiet on sanctioned idioms; the final test runs the analyzer
+   over the real library tree and asserts the gate invariant: zero
+   findings. *)
+
+module Lint = Dipp_analysis.Lint_rules
+module Report = Dipp_analysis.Report
+
+let rules_of findings = List.sort_uniq String.compare (List.map (fun f -> f.Report.rule) findings)
+let lint src = Lint.lint_source ~filename:"fixture.ml" src
+
+let check_fires what rule src =
+  Alcotest.(check bool)
+    (what ^ ": " ^ rule ^ " fires")
+    true
+    (List.mem rule (rules_of (lint src)))
+
+let check_clean what src =
+  Alcotest.(check (list string)) (what ^ ": no findings") [] (rules_of (lint src))
+
+(* ---- locality audit --------------------------------------------------- *)
+
+let test_locality_traversal () =
+  check_fires "fold_edges in verify" "locality-traversal"
+    "let verify v = Graph.fold_edges (fun _ acc -> acc + v) g 0 = 0";
+  check_fires "edges in a *_check fn" "locality-traversal"
+    "let consistency_check v = List.length (Graph.edges g) + v";
+  check_fires "iter_edges in decide" "locality-traversal"
+    "let decide v = Graph.iter_edges (fun _ -> ()) g; v";
+  (* the sanctioned neighbor API is fine, and non-decision functions may
+     traverse globally *)
+  check_clean "neighbors in verify"
+    "let verify v = Array.exists (fun u -> labels.(u) < labels.(v)) (Graph.neighbors g v)";
+  check_clean "fold_edges outside decision fns"
+    "let count_all g = Graph.fold_edges (fun _ acc -> acc + 1) g 0"
+
+let test_locality_index () =
+  check_fires "captured global node id" "locality-index"
+    "let verify v = labels.(leftmost_node) = labels.(v)";
+  check_fires "captured id in arithmetic" "locality-index"
+    "let decide v = coins.(root + 1) + v";
+  check_fires "outer function computes the index" "locality-index"
+    "let verify v = labels.(pick ()) = labels.(v)";
+  (* ...but indices built from parameters, bound neighbors, nested
+     sanctioned reads, constants and operators are local *)
+  check_clean "parameter and neighbor indices"
+    "let verify v =\n\
+    \  let ok = ref true in\n\
+    \  Array.iter (fun u -> if labels.(u) > labels.(v) + 1 then ok := false) (Graph.neighbors g v);\n\
+    \  (match parents.(v) with p -> if labels.(p) land 1 <> 0 then ok := false);\n\
+    \  !ok";
+  check_clean "nested read rooted at the node"
+    "let verify v = labels.(parent.(v)) - labels.(v)"
+
+(* ---- rng discipline --------------------------------------------------- *)
+
+let test_rng () =
+  check_fires "Random.int" "rng" "let draw () = Random.int 10";
+  check_fires "Random.State" "rng" "let draw st = Random.State.bool st";
+  check_clean "Rng wrapper is sanctioned" "let draw rng = Rng.int rng 10";
+  (* the one module allowed to touch Random is the seeded wrapper itself *)
+  Alcotest.(check (list string))
+    "Random allowed inside lib/util/rng.ml" []
+    (rules_of (Lint.lint_source ~filename:"lib/util/rng.ml" "let raw () = Random.bits ()"))
+
+(* ---- hygiene ---------------------------------------------------------- *)
+
+let test_obj_magic () =
+  check_fires "Obj.magic" "obj-magic" "let cast x = Obj.magic x";
+  check_fires "Obj.repr" "obj-magic" "let r x = Obj.repr x"
+
+let test_poly_compare () =
+  check_fires "deref vs list literal" "poly-compare" "let empty r = !r = []";
+  check_fires "record literal" "poly-compare" "let z s = s = { accepted = true }";
+  check_fires "bare compare" "poly-compare" "let sort l = List.sort compare l";
+  check_fires "Stdlib.compare" "poly-compare" "let sort l = List.sort Stdlib.compare l";
+  check_fires "structural = on Bits" "poly-compare" "let eq a b = Bits.concat a = Bits.concat b";
+  check_clean "typed comparisons pass"
+    "let sort l = List.sort Int.compare l\nlet eq a b = Bits.equal a b\nlet e r = List.is_empty !r";
+  check_clean "constant-constructor equality passes" "let is_p ph = ph = Prover_phase"
+
+let test_partial () =
+  check_fires "List.tl" "partial" "let rest l = List.tl l";
+  check_fires "List.combine" "partial" "let zip a b = List.combine a b";
+  check_fires "Option.get" "partial" "let force o = Option.get o";
+  check_clean "pattern matches pass"
+    "let rest l = match l with [] -> [] | _ :: t -> t\n\
+     let force o = match o with Some x -> x | None -> assert false"
+
+let test_parse_error () =
+  check_fires "unparseable source" "parse-error" "let let = ="
+
+(* ---- suppressions ----------------------------------------------------- *)
+
+let test_suppressions () =
+  check_clean "same-line allow" "let rest l = List.tl l (* dipp-lint: allow partial *)";
+  check_clean "previous-line allow"
+    "(* dipp-lint: allow partial *)\nlet rest l = List.tl l";
+  check_clean "allow all" "let rest l = List.tl l (* dipp-lint: allow all *)";
+  check_clean "several rules"
+    "let f l r = ignore (List.tl l); !r = [] (* dipp-lint: allow partial, poly-compare *)";
+  (* a suppression for one rule must not silence another *)
+  check_fires "allow of other rule keeps finding" "partial"
+    "let rest l = List.tl l (* dipp-lint: allow rng *)";
+  check_fires "stale line does not cover" "partial"
+    "(* dipp-lint: allow partial *)\n\nlet rest l = List.tl l"
+
+(* ---- missing-mli (needs a filesystem) --------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dipp_lint_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let write path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let test_missing_mli () =
+  with_temp_dir (fun dir ->
+      write (Filename.concat dir "naked.ml") "let x = 1\n";
+      Alcotest.(check (list string))
+        "ml without mli flagged" [ "missing-mli" ]
+        (rules_of (Lint.lint_tree dir));
+      write (Filename.concat dir "naked.mli") "val x : int\n";
+      Alcotest.(check (list string)) "mli added, clean" [] (rules_of (Lint.lint_tree dir)))
+
+(* ---- the gate: the real tree is clean --------------------------------- *)
+
+let locate_lib () =
+  List.find_opt
+    (fun dir -> Sys.file_exists (Filename.concat dir "dip/dip.ml"))
+    [ "../lib"; "lib"; "../../lib"; "../../../lib" ]
+
+let test_tree_clean () =
+  match locate_lib () with
+  | None -> Alcotest.fail "cannot locate lib/ from the test working directory"
+  | Some dir ->
+      let findings = Lint.lint_tree dir in
+      Alcotest.(check (list string))
+        "lib/ tree has zero lint findings"
+        []
+        (List.map (Format.asprintf "%a" Report.pp) findings)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "locality",
+        [
+          Alcotest.test_case "global traversal" `Quick test_locality_traversal;
+          Alcotest.test_case "non-local index" `Quick test_locality_index;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "rng discipline" `Quick test_rng;
+          Alcotest.test_case "obj magic" `Quick test_obj_magic;
+          Alcotest.test_case "poly compare" `Quick test_poly_compare;
+          Alcotest.test_case "partial stdlib" `Quick test_partial;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ("suppressions", [ Alcotest.test_case "allow comments" `Quick test_suppressions ]);
+      ("interfaces", [ Alcotest.test_case "missing mli" `Quick test_missing_mli ]);
+      ("gate", [ Alcotest.test_case "lib tree is clean" `Quick test_tree_clean ]);
+    ]
