@@ -5,7 +5,8 @@
    Usage:
      dune exec bench/main.exe            all experiments + timings
      dune exec bench/main.exe e1 .. e11  a single experiment
-     dune exec bench/main.exe timing     bechamel wall-clock benches *)
+     dune exec bench/main.exe timing     bechamel wall-clock benches
+     dune exec bench/main.exe bounds     claim-vs-measured bounds_report.json *)
 
 open Dipp
 
@@ -589,10 +590,135 @@ let ablation () =
   print_endline "constant error per repetition, driven down exponentially (the paper's";
   print_endline "parallel-repetition black box); the protocols use Theta(log log n) reps."
 
+(* ------------------------------------------------------------------ *)
+
+(* The claim-vs-measured record: every declared-bounds registry row
+   (lib/protocols/bounds.ml) instantiated at concrete sizes, checked
+   with Dip.check_budget against a real honest run, and written as
+   bounds_report.json (override the path with DIPP_BOUNDS_OUT) for CI
+   to archive and diff. *)
+let bounds () =
+  header "BOUNDS  declared budgets (Theorems 1.2-1.8) vs measured honest runs";
+  let entries = ref [] in
+  let record ~id ~n ~delta (stats : Dip.stats) =
+    match Bounds.find id with
+    | None -> failwith ("bounds experiment: no registry row for " ^ id)
+    | Some row ->
+        let b = Bounds.budget row ~n ~delta in
+        let violations = Dip.check_budget b stats in
+        entries := (row, n, delta, b, stats, violations) :: !entries;
+        Printf.printf "%-22s %-28s %7d %5d %9d %10d  %s\n" row.Bounds.id row.Bounds.theorem n
+          delta b.Dip.budget_proof_bits stats.Dip.proof_size_bits
+          (match violations with [] -> "ok" | _ :: _ -> "CLAIM VIOLATED")
+  in
+  Printf.printf "%-22s %-28s %7s %5s %9s %10s\n" "protocol" "theorem" "n" "delta" "claimed"
+    "measured";
+  List.iter
+    (fun n ->
+      let path, arcs = Gen.lr_yes ~n 42 in
+      let inst = { Lr_sorting.n; path; arcs } in
+      let r = Lr_sorting.run ~seed:1 ~prover:Lr_sorting.Honest inst in
+      record ~id:"lr_sorting" ~n ~delta:2 r.Lr_sorting.stats;
+      let pls = Pls_lr_sorting.run inst in
+      record ~id:"pls_lr_sorting" ~n ~delta:2 pls.Pls_lr_sorting.stats)
+    [ 256; 4096; 65536 ];
+  List.iter
+    (fun n ->
+      let g, w = Gen.path_outerplanar ~n 11 in
+      let r =
+        Path_outerplanarity.run ~seed:2 ~prover:Path_outerplanarity.Honest
+          { Path_outerplanarity.graph = g; witness = Some w }
+      in
+      record ~id:"path_outerplanarity" ~n:(Graph.n g) ~delta:(Graph.max_degree g)
+        r.Path_outerplanarity.stats;
+      let pls = Pls_path_outerplanar.run { Pls_path_outerplanar.graph = g; witness = w } in
+      record ~id:"pls_path_outerplanar" ~n:(Graph.n g) ~delta:(Graph.max_degree g)
+        pls.Pls_path_outerplanar.stats)
+    [ 256; 4096 ];
+  List.iter
+    (fun blocks ->
+      let g = Gen.outerplanar ~blocks 3 in
+      let r = Outerplanarity.run ~seed:1 ~prover:Outerplanarity.Honest { Outerplanarity.graph = g } in
+      record ~id:"outerplanarity" ~n:(Graph.n g) ~delta:(Graph.max_degree g) r.Outerplanarity.stats)
+    [ 4; 64 ];
+  List.iter
+    (fun n ->
+      let g = Gen.planar ~n 5 in
+      let rot = Option.get (Gen.embedding g) in
+      let r =
+        Planar_embedding.run ~seed:1 ~prover:Planar_embedding.Honest
+          { Planar_embedding.graph = g; rot }
+      in
+      record ~id:"planar_embedding" ~n:(Graph.n g) ~delta:(Graph.max_degree g)
+        r.Planar_embedding.stats)
+    [ 64; 256 ];
+  List.iter
+    (fun (g, _name) ->
+      let r = Planarity.run ~seed:1 ~prover:Planarity.Honest { Planarity.graph = g } in
+      record ~id:"planarity" ~n:(Graph.n g) ~delta:(Graph.max_degree g) r.Planarity.stats)
+    [ (Gen.planar_bounded_degree ~n:256 1, "grid+diagonals"); (Gen.planar ~n:256 1, "stacked") ];
+  List.iter
+    (fun size ->
+      let tr, g = Gen.series_parallel ~size 3 in
+      let r =
+        Series_parallel_dip.run ~seed:1 ~prover:Series_parallel_dip.Honest
+          { Series_parallel_dip.graph = g; ears = Some (Series_parallel.ears_of_sp tr) }
+      in
+      record ~id:"series_parallel_dip" ~n:(Graph.n g) ~delta:(Graph.max_degree g)
+        r.Series_parallel_dip.stats)
+    [ 64; 256 ];
+  List.iter
+    (fun blocks ->
+      let g = Gen.treewidth2 ~blocks 3 in
+      let r = Treewidth2_dip.run ~seed:1 ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g } in
+      record ~id:"treewidth2_dip" ~n:(Graph.n g) ~delta:(Graph.max_degree g) r.Treewidth2_dip.stats)
+    [ 4; 16 ];
+  let g = Gen.planar ~n:256 1 in
+  let parent = Traversal.spanning_tree g 0 in
+  let parent = Array.mapi (fun v pv -> if pv = v then -1 else pv) parent in
+  let pls_st = Pls_spanning_tree.run g ~parent in
+  record ~id:"pls_spanning_tree" ~n:(Graph.n g) ~delta:(Graph.max_degree g)
+    pls_st.Pls_spanning_tree.stats;
+  (* machine-readable record *)
+  let out =
+    match Sys.getenv_opt "DIPP_BOUNDS_OUT" with Some p -> p | None -> "bounds_report.json"
+  in
+  let oc = open_out out in
+  let entries = List.rev !entries in
+  let phases s = Format.asprintf "%a" Dip.pp_phases s in
+  output_string oc "[";
+  List.iteri
+    (fun i (row, n, delta, (b : Dip.budget), (stats : Dip.stats), violations) ->
+      let vstrings =
+        List.map (fun vio -> Format.asprintf "%a" Dip.pp_budget_violation vio) violations
+      in
+      Printf.fprintf oc
+        "%s\n\
+        \  {\"protocol\": \"%s\", \"theorem\": \"%s\", \"family\": \"%s\", \"n\": %d, \
+         \"delta\": %d,\n\
+        \   \"claimed\": {\"rounds\": %d, \"schedule\": \"%s\", \"proof_bits\": %d, \
+         \"floor_bits\": %d},\n\
+        \   \"measured\": {\"rounds\": %d, \"schedule\": \"%s\", \"proof_bits\": %d},\n\
+        \   \"violations\": [%s], \"claim_violated\": %b}"
+        (if i = 0 then "" else ",")
+        row.Bounds.id row.Bounds.theorem row.Bounds.family n delta b.Dip.budget_rounds
+        (phases b.Dip.budget_schedule) b.Dip.budget_proof_bits b.Dip.budget_floor_bits
+        stats.Dip.interaction_rounds (phases stats.Dip.phases) stats.Dip.proof_size_bits
+        (String.concat ", " (List.map (fun s -> "\"" ^ s ^ "\"") vstrings))
+        (match violations with [] -> false | _ :: _ -> true))
+    entries;
+  output_string oc "\n]\n";
+  close_out oc;
+  let violated =
+    List.length
+      (List.filter (fun (_, _, _, _, _, vs) -> match vs with [] -> false | _ :: _ -> true) entries)
+  in
+  Printf.printf "\nwrote %s: %d rows, %d with violated claims\n" out (List.length entries) violated
+
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing); ("bounds", bounds);
   ]
 
 let () =

@@ -1,53 +1,10 @@
 (* dipp-lint: static DIP-model-compliance and hygiene analyzer.
 
-   Usage: dipp_lint [--rules r1,r2] [--list-rules] [path ...]
+   Usage: dipp_lint [--rules r1,r2] [--list-rules] [--format text|json|sarif] [path ...]
 
    Paths may be .ml files or directories (scanned recursively); the
-   default is ./lib.  Exits 1 when any finding survives filtering, so it
-   can gate builds (wired up as `dune build @lint`). *)
+   default is ./lib.  Exit codes: 0 clean, 1 findings, 2 usage/IO error
+   — so it can gate builds (wired up as `dune build @lint`).  All the
+   logic lives in Dipp_analysis.Cli, where it is unit-tested. *)
 
-let () =
-  let paths = ref [] and selected = ref [] and list_rules = ref false in
-  let spec =
-    [
-      ( "--rules",
-        Arg.String
-          (fun s -> selected := !selected @ String.split_on_char ',' s),
-        "r1,r2 run only the named rules (default: all)" );
-      ("--list-rules", Arg.Set list_rules, " print the known rules and exit");
-    ]
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) "dipp_lint [options] [path ...]";
-  if !list_rules then begin
-    List.iter
-      (fun r -> Format.printf "%-20s %s@." r.Dipp_analysis.Lint_rules.id r.Dipp_analysis.Lint_rules.summary)
-      Dipp_analysis.Lint_rules.rules;
-    exit 0
-  end;
-  let known = List.map (fun r -> r.Dipp_analysis.Lint_rules.id) Dipp_analysis.Lint_rules.rules in
-  List.iter
-    (fun r ->
-      if not (List.mem r known) then begin
-        Format.eprintf "dipp_lint: unknown rule %s (try --list-rules)@." r;
-        exit 2
-      end)
-    !selected;
-  let roots = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
-  let findings =
-    List.concat_map
-      (fun root ->
-        if not (Sys.file_exists root) then begin
-          Format.eprintf "dipp_lint: no such path %s@." root;
-          exit 2
-        end;
-        if Sys.is_directory root then Dipp_analysis.Lint_rules.lint_tree root
-        else Dipp_analysis.Lint_rules.lint_file root)
-      roots
-  in
-  let findings =
-    match !selected with
-    | [] -> findings
-    | sel -> List.filter (fun f -> List.mem f.Dipp_analysis.Report.rule sel) findings
-  in
-  Format.printf "%a@?" Dipp_analysis.Report.pp_report findings;
-  match findings with [] -> () | _ :: _ -> exit 1
+let () = exit (Dipp_analysis.Cli.run Sys.argv)

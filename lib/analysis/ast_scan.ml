@@ -83,3 +83,7 @@ let suppressed tbl ~line ~rule =
     | None -> false
   in
   covers line || covers (line - 1)
+
+let suppression_entries tbl =
+  Hashtbl.fold (fun line rules acc -> (line, rules) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

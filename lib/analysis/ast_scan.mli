@@ -32,3 +32,7 @@ type suppressions
 val suppressions_of_source : string -> suppressions
 
 val suppressed : suppressions -> line:int -> rule:string -> bool
+
+val suppression_entries : suppressions -> (int * string list) list
+(** Every [allow] comment as [(line, tokens)], in line order — for
+    validating that each token names a rule the linter knows. *)

@@ -1,0 +1,76 @@
+(* The dipp-lint command line, as a library function so the exit-code
+   contract and the renderers are testable without spawning a process. *)
+
+let usage = "dipp_lint [options] [path ...]"
+
+type format = Text | Json | Sarif
+
+let renderer = function
+  | Text -> Report.pp_report
+  | Json -> Report.pp_json
+  | Sarif -> Report.pp_sarif
+
+let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
+  let paths = ref [] and selected = ref [] and list_rules = ref false in
+  let format = ref Text in
+  let spec =
+    [
+      ( "--rules",
+        Arg.String (fun s -> selected := !selected @ String.split_on_char ',' s),
+        "r1,r2 run only the named rules (default: all)" );
+      ("--list-rules", Arg.Set list_rules, " print the known rules and exit");
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "json"; "sarif" ],
+            fun s ->
+              format :=
+                match s with "json" -> Json | "sarif" -> Sarif | _ -> Text ),
+        " output format (default: text)" );
+    ]
+  in
+  match Arg.parse_argv ~current:(ref 0) argv spec (fun p -> paths := p :: !paths) usage with
+  | exception Arg.Bad msg ->
+      Format.fprintf err "%s@?" msg;
+      2
+  | exception Arg.Help msg ->
+      Format.fprintf out "%s@?" msg;
+      0
+  | () -> (
+      if !list_rules then begin
+        List.iter
+          (fun (r : Lint_rules.rule) -> Format.fprintf out "%-20s %s@." r.id r.summary)
+          Lint_rules.rules;
+        0
+      end
+      else
+        let known = List.map (fun (r : Lint_rules.rule) -> r.id) Lint_rules.rules in
+        match
+          List.find_opt (fun r -> not (List.exists (String.equal r) known)) !selected
+        with
+        | Some bad ->
+            Format.fprintf err "dipp_lint: unknown rule %s (try --list-rules)@." bad;
+            2
+        | None -> (
+            let roots = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+            match List.find_opt (fun root -> not (Sys.file_exists root)) roots with
+            | Some missing ->
+                Format.fprintf err "dipp_lint: no such path %s@." missing;
+                2
+            | None -> (
+                let findings =
+                  List.concat_map
+                    (fun root ->
+                      if Sys.is_directory root then Lint_rules.lint_tree root
+                      else Lint_rules.lint_file root)
+                    roots
+                in
+                let findings =
+                  match !selected with
+                  | [] -> findings
+                  | sel ->
+                      List.filter
+                        (fun (f : Report.finding) -> List.exists (String.equal f.rule) sel)
+                        findings
+                in
+                Format.fprintf out "%a@?" (renderer !format) findings;
+                match findings with [] -> 0 | _ :: _ -> 1)))

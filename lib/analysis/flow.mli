@@ -1,0 +1,48 @@
+(** The [flow-locality] rule: typed information-flow locality proofs for
+    decision functions.
+
+    Where {!Locality} audits the *syntax* of each subscript, this module
+    tracks the *provenance* of the values flowing into it, over the
+    lattice
+
+    {v Local < OwnCoin < NeighborLabel < GraphGlobal v}
+
+    [Local] — node-local arithmetic (parameters, constants, loop
+    counters); [OwnCoin] — read out of a coin/randomness store;
+    [NeighborLabel] — read out of a label store addressed by the node or
+    a bound neighbor; [GraphGlobal] — outer-scope state that never
+    passed through the node's legal view.  A finding fires when a
+    [GraphGlobal] value reaches a container subscript inside a decision
+    function (a [decide*]/[verify*]/[*_check] binding, or a literal
+    lambda handed to [Dip.all_accept]).
+
+    The analysis is interprocedural: let-bound helpers get summaries
+    (result taint plus latent findings replayed at call sites), and
+    qualified calls resolve through a {!Typed_scan.program} when one is
+    supplied.  In particular it closes the laundering hole the syntactic
+    rule concedes (see ANALYSIS.md, documented approximations):
+
+    {[
+      let verify v =
+        let slot = Array.make 1 0 in
+        slot.(0) <- leftmost_node;          (* non-local id parked locally *)
+        labels.(slot.(0)) = labels.(v)      (* flagged: GraphGlobal index *)
+    ]} *)
+
+val rule_flow : string
+(** ["flow-locality"] *)
+
+type taint = Local | Own_coin | Neighbor_label | Graph_global
+
+val join : taint -> taint -> taint
+(** Least upper bound in the provenance lattice. *)
+
+val taint_name : taint -> string
+(** The paper-facing spelling: ["Local"], ["OwnCoin"], ["NeighborLabel"],
+    ["GraphGlobal"]. *)
+
+val check : ?program:Typed_scan.program -> Parsetree.structure -> Report.finding list
+(** Runs the analysis over one implementation.  [program] supplies
+    cross-module summaries for qualified calls (base taint only, capped
+    at [Neighbor_label]); without it qualified calls resolve to the
+    taint of their arguments. *)

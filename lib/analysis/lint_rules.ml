@@ -15,6 +15,19 @@ let rules =
          (the decision node or a bound neighbor), not captured globals";
     };
     {
+      id = Flow.rule_flow;
+      summary =
+        "typed information-flow locality: no GraphGlobal-tainted value may reach a container \
+         subscript inside a decision function, even through local slots, helpers or closures";
+    };
+    {
+      id = Budget.rule_budget;
+      summary =
+        "a protocol's statically extracted record_prover/record_verifier schedule (with \
+         sub-protocol runs expanded) must realize exactly the rounds and phase order its \
+         declared-bounds registry row claims";
+    };
+    {
       id = "rng";
       summary = "no direct Random.* use outside lib/util/rng.ml; draw through the seeded Rng";
     };
@@ -33,6 +46,12 @@ let rules =
     };
     { id = "missing-mli"; summary = "every library module ships a .mli interface" };
     { id = "parse-error"; summary = "the file must parse with the project's compiler" };
+    {
+      id = "suppression";
+      summary =
+        "every token of a suppression (allow) comment must name a known rule id; a typo \
+         would silently suppress nothing";
+    };
   ]
 
 (* ---- hygiene rules ---------------------------------------------------- *)
@@ -131,18 +150,81 @@ let parse_error_finding ~filename exn =
   in
   Report.finding ~loc ~rule:"parse-error" (Printexc.to_string exn)
 
-let ast_findings ~filename src =
+(* Budget pass context from the file's location: its registry row (keyed
+   by module basename) and whether a row is mandatory (every recording
+   protocol under lib/protocols or lib/baselines must declare bounds;
+   lib/dip sub-protocols and test fixtures are exempt). *)
+let budget_declared filename =
+  let base = Filename.remove_extension (Filename.basename filename) in
+  Option.map
+    (fun (r : Dipp_protocols.Bounds.row) ->
+      {
+        Budget.id = r.id;
+        rounds = r.rounds;
+        schedule =
+          List.map
+            (function
+              | Dipp_dip.Dip.Prover_phase -> Budget.P
+              | Dipp_dip.Dip.Verifier_phase -> Budget.V)
+            r.schedule;
+      })
+    (Dipp_protocols.Bounds.find base)
+
+let budget_required filename =
+  match Filename.basename (Filename.dirname filename) with
+  | "protocols" | "baselines" -> true
+  | _ -> false
+
+let ast_findings ?program ~filename src =
   match Ast_scan.parse_string ~filename src with
-  | structure -> Locality.check structure @ hygiene ~filename structure
+  | structure ->
+      let budget =
+        Budget.check_structure ?program
+          ?declared:(budget_declared filename)
+          ~require_declared:(budget_required filename)
+          ~modname:(Typed_scan.module_name filename) structure
+      in
+      Locality.check structure @ Flow.check ?program structure @ budget
+      @ hygiene ~filename structure
   | exception exn -> [ parse_error_finding ~filename exn ]
 
-let apply_suppressions supp findings =
+(* Applied after filtering, so a typo'd allow list cannot silence its
+   own warning. *)
+let validate_suppressions ~filename supp =
+  let known = "all" :: List.map (fun r -> r.id) rules in
+  List.concat_map
+    (fun (line, tokens) ->
+      List.filter_map
+        (fun tok ->
+          if List.exists (String.equal tok) known then None
+          else
+            Some
+              {
+                Report.file = filename;
+                line;
+                col = 0;
+                rule = "suppression";
+                msg =
+                  Printf.sprintf
+                    "allow comment names unknown rule `%s` and suppresses nothing (try \
+                     --list-rules)"
+                    tok;
+              })
+        tokens)
+    (Ast_scan.suppression_entries supp)
+
+let apply_suppressions ~filename supp findings =
   List.filter
     (fun (f : Report.finding) -> not (Ast_scan.suppressed supp ~line:f.line ~rule:f.rule))
     findings
+  @ validate_suppressions ~filename supp
 
 let lint_source ~filename src =
-  apply_suppressions (Ast_scan.suppressions_of_source src) (ast_findings ~filename src)
+  apply_suppressions ~filename (Ast_scan.suppressions_of_source src) (ast_findings ~filename src)
+
+let lint_source_in ~program ~filename src =
+  apply_suppressions ~filename (Ast_scan.suppressions_of_source src)
+    (ast_findings ~program ~filename src)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -150,7 +232,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file ?(check_mli = true) path =
+let lint_file ?(check_mli = true) ?program path =
   let src = read_file path in
   let supp = Ast_scan.suppressions_of_source src in
   let mli =
@@ -158,15 +240,18 @@ let lint_file ?(check_mli = true) path =
       [ { Report.file = path; line = 1; col = 0; rule = "missing-mli"; msg = "module has no .mli interface; write one to pin the public surface" } ]
     else []
   in
-  apply_suppressions supp (mli @ ast_findings ~filename:path src)
+  apply_suppressions ~filename:path supp (mli @ ast_findings ?program ~filename:path src)
 
 let lint_tree root =
+  (* One whole-program pass first, so the flow analysis can resolve
+     qualified calls across the tree's modules. *)
+  let program = Typed_scan.load_tree root in
   let rec walk acc path =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list |> List.sort String.compare
       |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
       |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
-    else if Filename.check_suffix path ".ml" then List.rev_append (lint_file path) acc
+    else if Filename.check_suffix path ".ml" then List.rev_append (lint_file ~program path) acc
     else acc
   in
   List.rev (walk [] root)

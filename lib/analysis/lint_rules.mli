@@ -3,6 +3,15 @@
     Rules (see ANALYSIS.md for the model-level rationale):
     - [locality-traversal], [locality-index] — the DIP locality audit
       ({!Locality});
+    - [flow-locality] — the typed information-flow locality audit
+      ({!Flow}): no GraphGlobal-tainted value may reach a container
+      subscript inside a decision function, even when laundered through
+      local slots, helper functions or closures;
+    - [budget] — static round/bit-budget verification ({!Budget}): a
+      protocol's extracted [record_prover]/[record_verifier] schedule,
+      with sub-protocol runs expanded, must realize exactly the rounds
+      and phase order declared in the bounds registry
+      ([lib/protocols/bounds.ml]);
     - [rng] — randomness only through [Rng] ([lib/util/rng.ml]); direct
       [Random.*] calls break seeded reproducibility of soundness-error
       estimates;
@@ -15,7 +24,10 @@
       instead;
     - [missing-mli] — every library module ships an interface;
     - [parse-error] — the file does not parse (reported as a finding so
-      a broken tree fails the lint gate rather than crashing it).
+      a broken tree fails the lint gate rather than crashing it);
+    - [suppression] — every token of an [allow] comment must name a
+      known rule (or [all]); a typo'd id would silently suppress
+      nothing, so it is reported (and cannot itself be suppressed).
 
     Suppression: [(* dipp-lint: allow <rule> [<rule> ...] *)] on the
     finding's line or the line above ([allow all] covers every rule). *)
@@ -28,12 +40,18 @@ val rules : rule list
 val lint_source : filename:string -> string -> Report.finding list
 (** Parses and lints one implementation given as a string; suppressions
     are applied.  The [missing-mli] check needs a filesystem context and
-    is not run here. *)
+    is not run here; the flow analysis runs without cross-module
+    summaries. *)
 
-val lint_file : ?check_mli:bool -> string -> Report.finding list
+val lint_source_in : program:Typed_scan.program -> filename:string -> string -> Report.finding list
+(** [lint_source] with a whole-program index for the flow analysis's
+    cross-module summaries. *)
+
+val lint_file : ?check_mli:bool -> ?program:Typed_scan.program -> string -> Report.finding list
 (** Lints a file on disk.  With [check_mli] (default [true]) a missing
     sibling [.mli] is reported at line 1 (suppressible by an [allow]
     comment on the first line). *)
 
 val lint_tree : string -> Report.finding list
-(** Recursively lints every [.ml] under a directory root. *)
+(** Recursively lints every [.ml] under a directory root, sharing one
+    whole-program index across the files. *)

@@ -20,10 +20,18 @@ let is_global_traversal lid =
   | Some ("Graph", ("edges" | "fold_edges" | "iter_edges")) -> true
   | Some _ | None -> false
 
+(* Label stores come in three shapes in this codebase: int-indexed arrays,
+   packed [Bytes] buffers, and [Hashtbl]-backed sparse stores (edge maps,
+   successor tables).  All of them take the container first and the
+   index/key second, so one predicate covers the subscript audit. *)
 let is_array_access lid =
-  match lid with
-  | Longident.Ldot (Longident.Lident "Array", ("get" | "unsafe_get" | "set" | "unsafe_set")) -> true
-  | _ -> false
+  match Ast_scan.last_two lid with
+  | Some ("Array", ("get" | "unsafe_get" | "set" | "unsafe_set"))
+  | Some ("Bytes", ("get" | "unsafe_get" | "set" | "unsafe_set"))
+  | Some ("String", ("get" | "unsafe_get"))
+  | Some ("Hashtbl", ("find" | "find_opt" | "mem" | "replace" | "add")) ->
+      true
+  | Some _ | None -> false
 
 (* Word-shaped infix operators parse as plain identifiers. *)
 let word_operators =
@@ -89,7 +97,7 @@ let walk_decision ~add body0 env0 =
         | offenders ->
             add ~loc:e.pexp_loc rule_index
               (Printf.sprintf
-                 "array subscript reaches outside the node's local view (non-local: %s); index labels/coins by the decision node or a bound neighbor"
+                 "container subscript reaches outside the node's local view (non-local: %s); index labels/coins by the decision node or a bound neighbor"
                  (String.concat ", " (List.sort_uniq String.compare offenders))));
         walk env f;
         List.iter (fun (_, a) -> walk env a) args

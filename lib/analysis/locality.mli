@@ -12,13 +12,15 @@
       module prefix ending in [Graph]) is flagged.  Neighborhood access
       must go through the sanctioned per-node API ([Graph.neighbors],
       [Graph.degree], [Graph.mem_edge], ...).
-    - [locality-index]: every array subscript must be built from
-      locally bound variables (the decision function's parameters and
-      bindings introduced inside it — e.g. a neighbor obtained from
-      [Graph.neighbors g v]), constants, operators and nested sanctioned
-      reads.  A subscript mentioning an identifier captured from outside
-      the function (a "global" node id) escapes the neighbor view and is
-      flagged.
+    - [locality-index]: every container subscript — [Array.get]/[set]
+      (safe or unsafe, including the [.( )] sugar), [Bytes.get]/[set],
+      [String.get] and [Hashtbl.find]/[find_opt]/[mem]/[replace]/[add]
+      on label stores — must be built from locally bound variables (the
+      decision function's parameters and bindings introduced inside it —
+      e.g. a neighbor obtained from [Graph.neighbors g v]), constants,
+      operators and nested sanctioned reads.  A subscript mentioning an
+      identifier captured from outside the function (a "global" node id)
+      escapes the neighbor view and is flagged.
 
     This is an approximation: it cannot prove that a locally bound index
     denotes a genuine neighbor, but it catches the failure mode that

@@ -29,3 +29,54 @@ let pp_report ppf findings =
   match sorted with
   | [] -> Format.fprintf ppf "dipp-lint: no findings@."
   | _ :: _ -> Format.fprintf ppf "dipp-lint: %d finding(s)@." (List.length sorted)
+
+(* ---- machine-readable renderers --------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json ppf findings =
+  let sorted = List.sort_uniq compare_findings findings in
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf "%s@.  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"msg\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg))
+    sorted;
+  Format.fprintf ppf "%s]@." (match sorted with [] -> "" | _ :: _ -> "\n")
+
+let pp_sarif ppf findings =
+  let sorted = List.sort_uniq compare_findings findings in
+  let rule_ids = List.sort_uniq String.compare (List.map (fun f -> f.rule) sorted) in
+  Format.fprintf ppf
+    "{@.  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",@.  \"version\": \
+     \"2.1.0\",@.  \"runs\": [{@.    \"tool\": {\"driver\": {\"name\": \"dipp-lint\", \
+     \"rules\": [";
+  List.iteri
+    (fun i id -> Format.fprintf ppf "%s{\"id\": \"%s\"}" (if i = 0 then "" else ", ") (json_escape id))
+    rule_ids;
+  Format.fprintf ppf "]}},@.    \"results\": [";
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf
+        "%s@.      {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \
+         \"%s\"},@.       \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+         {\"uri\": \"%s\"},@.         \"region\": {\"startLine\": %d, \"startColumn\": \
+         %d}}}]}"
+        (if i = 0 then "" else ",")
+        (json_escape f.rule) (json_escape f.msg) (json_escape f.file) (max 1 f.line) (f.col + 1))
+    sorted;
+  Format.fprintf ppf "%s]@.  }]@.}@." (match sorted with [] -> "" | _ :: _ -> "\n    ")

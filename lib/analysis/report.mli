@@ -21,3 +21,13 @@ val pp : Format.formatter -> finding -> unit
 
 val pp_report : Format.formatter -> finding list -> unit
 (** Sorted findings, one per line, followed by a one-line summary. *)
+
+val pp_json : Format.formatter -> finding list -> unit
+(** Sorted, deduplicated findings as a JSON array of
+    [{"file", "line", "col", "rule", "msg"}] objects — the [--format
+    json] output CI parses for PR annotations. *)
+
+val pp_sarif : Format.formatter -> finding list -> unit
+(** The same findings as a minimal SARIF 2.1.0 log ([--format sarif]),
+    one run with driver name [dipp-lint]; columns are 1-based as the
+    standard requires. *)

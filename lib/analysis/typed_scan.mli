@@ -1,0 +1,36 @@
+(** A whole-program index of top-level function bindings, keyed
+    ["Module.name"].  The flow analysis ({!Flow}) resolves qualified
+    calls against it to pull in cross-module summaries; everything else
+    about a program stays on the per-file AST.
+
+    Module names follow dune's convention: the capitalized basename of
+    the [.ml] file, so [lib/dip/dip.ml] indexes as ["Dip.record_prover"]
+    etc. regardless of the wrapping library prefix. *)
+
+type entry = {
+  params : string list;  (** every parameter name, across the [fun] chain *)
+  body : Parsetree.expression;  (** the body with parameters peeled *)
+}
+
+type program
+
+val module_name : string -> string
+(** ["Lr_sorting"] for ["lib/protocols/lr_sorting.ml"]. *)
+
+val peel_params : Parsetree.expression -> (string list * Parsetree.expression) option
+(** Parameter chain of a function binding; [None] for a plain value.
+    A [function] keyword body is returned unpeeled as the body. *)
+
+val empty : unit -> program
+
+val add_structure : program -> modname:string -> Parsetree.structure -> unit
+(** Indexes every top-level [Ppat_var] function binding of the structure. *)
+
+val of_structure : modname:string -> Parsetree.structure -> program
+
+val lookup : program -> modname:string -> name:string -> entry option
+
+val load_tree : string -> program
+(** Parses and indexes every [.ml] under a directory root (skipping
+    dotfiles and [_build]); files that fail to parse are skipped — the
+    [parse-error] rule reports them separately. *)

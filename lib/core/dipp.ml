@@ -52,6 +52,7 @@ module Spanning_tree_verify = Dipp_dip.Spanning_tree_verify
 module Multiset_equality = Dipp_dip.Multiset_equality
 
 (* the paper's protocols *)
+module Bounds = Dipp_protocols.Bounds
 module Lr_sorting = Dipp_protocols.Lr_sorting
 module Path_outerplanarity = Dipp_protocols.Path_outerplanarity
 module Outerplanarity = Dipp_protocols.Outerplanarity

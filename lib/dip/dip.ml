@@ -81,6 +81,68 @@ let stats m =
     per_phase = zip_min (List.rev m.phases_rev) (List.rev m.phase_max_rev);
   }
 
+(* ---- declared complexity budgets (Theorems 1.2-1.8) ------------------ *)
+
+type budget = {
+  budget_rounds : int;
+  budget_schedule : phase list;
+  budget_proof_bits : int;
+  budget_floor_bits : int;
+}
+
+type budget_violation =
+  | Rounds_exceeded of { claimed : int; measured : int }
+  | Schedule_mismatch of { claimed : phase list; measured : phase list }
+  | Proof_size_exceeded of { claimed : int; measured : int }
+  | Proof_size_below_floor of { floor : int; measured : int }
+
+let phase_equal a b =
+  match (a, b) with
+  | Prover_phase, Prover_phase | Verifier_phase, Verifier_phase -> true
+  | Prover_phase, Verifier_phase | Verifier_phase, Prover_phase -> false
+
+(* Component folds (block-cut / SP compositions) keep only the top-level
+   meter's phase list while taking the max of interaction rounds, so a
+   measured phase list may be shorter than the declared schedule: the
+   check is prefix agreement, not equality. *)
+let rec is_phase_prefix shorter longer =
+  match (shorter, longer) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | a :: tl, b :: tl' -> phase_equal a b && is_phase_prefix tl tl'
+
+let check_budget b s =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  if s.interaction_rounds > b.budget_rounds then
+    push (Rounds_exceeded { claimed = b.budget_rounds; measured = s.interaction_rounds });
+  if not (is_phase_prefix s.phases b.budget_schedule) then
+    push (Schedule_mismatch { claimed = b.budget_schedule; measured = s.phases });
+  if s.proof_size_bits > b.budget_proof_bits then
+    push (Proof_size_exceeded { claimed = b.budget_proof_bits; measured = s.proof_size_bits });
+  if b.budget_floor_bits > 0 && s.proof_size_bits < b.budget_floor_bits then
+    push (Proof_size_below_floor { floor = b.budget_floor_bits; measured = s.proof_size_bits });
+  List.rev !violations
+
+let pp_phases ppf phases =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "-")
+    (fun ppf ph ->
+      Format.pp_print_string ppf (match ph with Prover_phase -> "P" | Verifier_phase -> "V"))
+    ppf phases
+
+let pp_budget_violation ppf = function
+  | Rounds_exceeded { claimed; measured } ->
+      Format.fprintf ppf "rounds exceeded: claimed %d, measured %d" claimed measured
+  | Schedule_mismatch { claimed; measured } ->
+      Format.fprintf ppf "schedule mismatch: claimed %a, measured %a" pp_phases claimed pp_phases
+        measured
+  | Proof_size_exceeded { claimed; measured } ->
+      Format.fprintf ppf "proof size exceeded: claimed <= %d bits, measured %d" claimed measured
+  | Proof_size_below_floor { floor; measured } ->
+      Format.fprintf ppf "proof size below declared floor: >= %d bits required, measured %d" floor
+        measured
+
 type verdict = { accepted : bool; rejecting : int list }
 
 let all_accept ~n decide =

@@ -41,6 +41,43 @@ type stats = {
 
 val stats : meter -> stats
 
+(** {2 Declared complexity budgets}
+
+    The Gil–Parter theorem table (Theorems 1.2–1.8) declares, per protocol,
+    an interaction-round count, a phase schedule, and a proof-size bound.
+    A [budget] is the runtime form of one such row (the registry living in
+    [lib/protocols/bounds.ml]); {!check_budget} cross-checks a measured
+    {!stats} against it.  [bench/main.exe bounds] runs this over every
+    protocol and emits the machine-readable claim-vs-measured record
+    ([bounds_report.json]); the static analogue — extracting the schedule
+    from the source — is the [budget] pass of dipp-lint. *)
+
+type budget = {
+  budget_rounds : int;  (** claimed interaction rounds (5 for the DIPs) *)
+  budget_schedule : phase list;  (** claimed schedule, e.g. P-V-P-V-P *)
+  budget_proof_bits : int;  (** claimed upper envelope on {!stats.proof_size_bits} *)
+  budget_floor_bits : int;
+      (** claimed lower bound on proof size (Theorem 1.8, one-round
+          schemes); [0] disables the check *)
+}
+
+type budget_violation =
+  | Rounds_exceeded of { claimed : int; measured : int }
+  | Schedule_mismatch of { claimed : phase list; measured : phase list }
+  | Proof_size_exceeded of { claimed : int; measured : int }
+  | Proof_size_below_floor of { floor : int; measured : int }
+
+val check_budget : budget -> stats -> budget_violation list
+(** [[]] iff the measured stats respect the declared budget.  The phase
+    check is prefix agreement: component folds keep only the top-level
+    meter's phase list, so a measured schedule may be a strict prefix of
+    the declared one. *)
+
+val pp_budget_violation : Format.formatter -> budget_violation -> unit
+
+val pp_phases : Format.formatter -> phase list -> unit
+(** Renders a schedule as ["P-V-P-V-P"]. *)
+
 type verdict = { accepted : bool; rejecting : int list }
 
 val all_accept : n:int -> (int -> bool) -> verdict

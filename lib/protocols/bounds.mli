@@ -1,0 +1,44 @@
+(** The declared-bounds registry: the Gil–Parter theorem table
+    (Theorems 1.2–1.8, plus the Lemma 4.1 LR-sorting primitive and the
+    one-round PLS baselines) as checkable data.
+
+    Every protocol module in [lib/protocols] (and every PLS baseline in
+    [lib/baselines]) has one {!row} keyed by its module basename.  A row
+    declares the exact interaction-round count and phase schedule and a
+    concrete proof-size envelope [n -> max_bits] for the theorem's
+    asymptotic family, calibrated at the default soundness constant
+    [c = 3] (see EXPERIMENTS.md for the reference measurements each
+    envelope was fitted against).
+
+    Consumers: the static [budget] pass of dipp-lint (schedule vs.
+    source), {!Dip.check_budget} (runtime stats vs. budget), and
+    [bench/main.exe bounds] (the claim-vs-measured [bounds_report.json]
+    record). *)
+
+type row = {
+  id : string;  (** protocol module basename, e.g. ["lr_sorting"] *)
+  theorem : string;  (** e.g. ["Theorem 1.2"] *)
+  family : string;  (** printable proof-size family, e.g. ["O(log log n)"] *)
+  rounds : int;
+  schedule : Dip.phase list;
+  envelope : n:int -> delta:int -> int;
+      (** claimed upper envelope on proof size in bits; [delta] is the
+          maximum degree and only contributes to the Theorem 1.5 row *)
+  floor : (int -> int) option;
+      (** Theorem 1.8 lower bound for one-round schemes, as [n -> bits] *)
+}
+
+val rows : row list
+(** Every registry row, in theorem order. *)
+
+val find : string -> row option
+(** Row lookup by protocol module basename. *)
+
+val budget : row -> n:int -> delta:int -> Dip.budget
+(** Instantiates a row's envelope at a concrete instance size. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] = smallest [w >= 1] with [2^w >= n]. *)
+
+val loglog : int -> int
+(** [ceil_log2 (ceil_log2 n)], the paper's proof-size scale. *)

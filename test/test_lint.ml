@@ -54,6 +54,116 @@ let test_locality_index () =
   check_clean "nested read rooted at the node"
     "let verify v = labels.(parent.(v)) - labels.(v)"
 
+let test_locality_containers () =
+  check_fires "Bytes.get with captured index" "locality-index"
+    "let verify v = Bytes.get buf global_pos";
+  check_fires "Array.unsafe_get with captured index" "locality-index"
+    "let verify v = Array.unsafe_get labels hub = v";
+  check_fires "Hashtbl.find-backed label store" "locality-index"
+    "let decide v = Hashtbl.find tbl root_id + v";
+  check_clean "Hashtbl keyed by the node" "let verify v = Hashtbl.mem tbl v"
+
+(* ---- typed information-flow (flow-locality) --------------------------- *)
+
+let test_flow_locality () =
+  (* The laundering hole the syntactic rule concedes: a non-local node id
+     parked in a local slot.  The flow rule must catch it AND the
+     syntactic rule must (still) miss it — that asymmetry is the point. *)
+  let launder =
+    "let verify v =\n\
+    \  let slot = Array.make 1 0 in\n\
+    \  slot.(0) <- leftmost_node;\n\
+    \  labels.(slot.(0)) = labels.(v)"
+  in
+  check_fires "array-slot laundering" "flow-locality" launder;
+  Alcotest.(check bool)
+    "syntactic locality-index provably misses the laundering" false
+    (List.mem "locality-index" (rules_of (lint launder)));
+  check_fires "ref laundering" "flow-locality"
+    "let decide v =\n  let r = ref 0 in\n  r := hidden;\n  labels.(!r) + v";
+  check_fires "laundering through a local helper" "flow-locality"
+    "let verify v =\n  let pick () = leftmost_node in\n  labels.(pick ()) = labels.(v)";
+  check_clean "neighbor-derived indices stay clean"
+    "let verify v = Array.for_all (fun u -> labels.(u) <= labels.(v)) (Graph.neighbors g v)";
+  check_clean "local arithmetic stays clean"
+    "let decide v =\n  let slot = Array.make 1 0 in\n  slot.(0) <- v + 1;\n  labels.(slot.(0))"
+
+(* ---- static budget verification --------------------------------------- *)
+
+(* Budget fixtures lint under a registered protocol's filename so the
+   registry row (lr_sorting: 5 rounds, P-V-P-V-P) applies. *)
+let lint_as filename src = Lint.lint_source ~filename src
+
+let budget_fires what filename src =
+  Alcotest.(check bool) (what ^ ": budget fires") true
+    (List.mem "budget" (rules_of (lint_as filename src)))
+
+let budget_quiet what filename src =
+  Alcotest.(check bool) (what ^ ": budget quiet") false
+    (List.mem "budget" (rules_of (lint_as filename src)))
+
+let test_budget () =
+  budget_fires "truncated schedule" "lr_sorting.ml"
+    "let run meter x =\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  x";
+  budget_fires "phase recorded in a closure" "lr_sorting.ml"
+    "let run meter xs =\n\
+    \  Dip.record_prover meter xs;\n\
+    \  List.iter (fun x -> Dip.record_verifier meter x) xs";
+  budget_fires "schedule overrun" "lr_sorting.ml"
+    "let run meter x =\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  x";
+  budget_quiet "exact five-round schedule" "lr_sorting.ml"
+    "let run meter x =\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  Dip.record_prover meter x;\n\
+    \  x";
+  (* branches: one arm realizing the declared schedule is enough, but
+     every arm must stay within it *)
+  budget_quiet "optional trailing rounds in a branch" "lr_sorting.ml"
+    "let run meter x =\n\
+    \  Dip.record_prover meter x;\n\
+    \  Dip.record_verifier meter x;\n\
+    \  Dip.record_prover meter x;\n\
+    \  if x > 0 then begin\n\
+    \    Dip.record_verifier meter x;\n\
+    \    Dip.record_prover meter x\n\
+    \  end";
+  (* a recording protocol under lib/protocols must have a registry row;
+     the same module under lib/dip is an exempt building block *)
+  budget_fires "undeclared protocol" "protocols/mystery.ml"
+    "let run meter x = Dip.record_prover meter x";
+  budget_quiet "lib/dip building blocks exempt" "dip/mystery.ml"
+    "let run meter x = Dip.record_prover meter x";
+  budget_quiet "non-run functions ignored" "lr_sorting.ml"
+    "let helper meter x = Dip.record_prover meter x"
+
+(* ---- the CLI: exit codes and formats ---------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let run_cli args =
+  let buf = Buffer.create 256 and ebuf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf and err = Format.formatter_of_buffer ebuf in
+  let code = Dipp_analysis.Cli.run ~out ~err (Array.of_list ("dipp_lint" :: args)) in
+  Format.pp_print_flush out ();
+  Format.pp_print_flush err ();
+  (code, Buffer.contents buf, Buffer.contents ebuf)
+
 (* ---- rng discipline --------------------------------------------------- *)
 
 let test_rng () =
@@ -107,6 +217,22 @@ let test_suppressions () =
   check_fires "stale line does not cover" "partial"
     "(* dipp-lint: allow partial *)\n\nlet rest l = List.tl l"
 
+let test_suppression_validation () =
+  (* a typo'd rule id suppresses nothing — that is its own finding *)
+  let typo = "let rest l = List.tl l (* dipp-lint: allow partail *)" in
+  check_fires "typo'd id warns" "suppression" typo;
+  check_fires "typo'd id leaves the finding live" "partial" typo;
+  check_fires "unknown id among known ones warns" "suppression"
+    "let rest l = List.tl l (* dipp-lint: allow partial, partail *)";
+  check_clean "comma list of known ids is fine"
+    "let f l r = ignore (List.tl l); !r = [] (* dipp-lint: allow partial, poly-compare *)";
+  check_clean "space list of known ids is fine"
+    "let f l r = ignore (List.tl l); !r = [] (* dipp-lint: allow partial poly-compare *)";
+  check_clean "allow all is fine" "let rest l = List.tl l (* dipp-lint: allow all *)";
+  (* the warning itself cannot be suppressed *)
+  check_fires "suppression warning is unsuppressible" "suppression"
+    "(* dipp-lint: allow suppression *)\nlet x = 1 (* dipp-lint: allow bogus *)"
+
 (* ---- missing-mli (needs a filesystem) --------------------------------- *)
 
 let with_temp_dir f =
@@ -133,6 +259,39 @@ let test_missing_mli () =
       write (Filename.concat dir "naked.mli") "val x : int\n";
       Alcotest.(check (list string)) "mli added, clean" [] (rules_of (Lint.lint_tree dir)))
 
+let test_cli () =
+  with_temp_dir (fun dir ->
+      let clean = Filename.concat dir "clean.ml" in
+      write clean "let x = 1\n";
+      write (Filename.concat dir "clean.mli") "val x : int\n";
+      let code, out, _ = run_cli [ clean ] in
+      Alcotest.(check int) "clean file exits 0" 0 code;
+      Alcotest.(check bool) "clean run says so" true (contains out "no findings");
+      let dirty = Filename.concat dir "dirty.ml" in
+      write dirty "let rest l = List.tl l\n";
+      write (Filename.concat dir "dirty.mli") "val rest : 'a list -> 'a list\n";
+      let code, out, _ = run_cli [ dirty ] in
+      Alcotest.(check int) "findings exit 1" 1 code;
+      Alcotest.(check bool) "text format names the rule" true (contains out "[partial]");
+      let code, _, err = run_cli [ "--rules"; "no-such-rule"; clean ] in
+      Alcotest.(check int) "unknown rule exits 2" 2 code;
+      Alcotest.(check bool) "usage error on stderr" true (contains err "unknown rule");
+      let code, _, err = run_cli [ Filename.concat dir "absent.ml" ] in
+      Alcotest.(check int) "missing path exits 2" 2 code;
+      Alcotest.(check bool) "missing path reported" true (contains err "no such path");
+      let code, out, _ = run_cli [ "--list-rules" ] in
+      Alcotest.(check int) "--list-rules exits 0" 0 code;
+      Alcotest.(check bool) "catalogue includes flow-locality" true (contains out "flow-locality");
+      Alcotest.(check bool) "catalogue includes budget" true (contains out "budget");
+      let code, out, _ = run_cli [ "--format"; "json"; dirty ] in
+      Alcotest.(check int) "json format keeps exit 1" 1 code;
+      Alcotest.(check bool) "json carries the rule field" true
+        (contains out "\"rule\": \"partial\"");
+      let code, out, _ = run_cli [ "--format"; "sarif"; dirty ] in
+      Alcotest.(check int) "sarif format keeps exit 1" 1 code;
+      Alcotest.(check bool) "sarif schema stamped" true (contains out "sarif-2.1.0");
+      Alcotest.(check bool) "sarif result present" true (contains out "\"ruleId\": \"partial\""))
+
 (* ---- the gate: the real tree is clean --------------------------------- *)
 
 let locate_lib () =
@@ -157,7 +316,10 @@ let () =
         [
           Alcotest.test_case "global traversal" `Quick test_locality_traversal;
           Alcotest.test_case "non-local index" `Quick test_locality_index;
+          Alcotest.test_case "container coverage" `Quick test_locality_containers;
         ] );
+      ("flow", [ Alcotest.test_case "taint laundering" `Quick test_flow_locality ]);
+      ("budget", [ Alcotest.test_case "static schedules" `Quick test_budget ]);
       ( "hygiene",
         [
           Alcotest.test_case "rng discipline" `Quick test_rng;
@@ -166,7 +328,12 @@ let () =
           Alcotest.test_case "partial stdlib" `Quick test_partial;
           Alcotest.test_case "parse error" `Quick test_parse_error;
         ] );
-      ("suppressions", [ Alcotest.test_case "allow comments" `Quick test_suppressions ]);
+      ( "suppressions",
+        [
+          Alcotest.test_case "allow comments" `Quick test_suppressions;
+          Alcotest.test_case "unknown ids warn" `Quick test_suppression_validation;
+        ] );
       ("interfaces", [ Alcotest.test_case "missing mli" `Quick test_missing_mli ]);
+      ("cli", [ Alcotest.test_case "exit codes and formats" `Quick test_cli ]);
       ("gate", [ Alcotest.test_case "lib tree is clean" `Quick test_tree_clean ]);
     ]
