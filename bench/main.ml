@@ -6,12 +6,47 @@
      dune exec bench/main.exe            all experiments + timings
      dune exec bench/main.exe e1 .. e11  a single experiment
      dune exec bench/main.exe timing     bechamel wall-clock benches
-     dune exec bench/main.exe bounds     claim-vs-measured bounds_report.json *)
+     dune exec bench/main.exe bounds     claim-vs-measured bounds_report.json
+     dune exec bench/main.exe -- trials [--jobs N]
+                                         engine soundness trials + trials_report.json
+
+   Soundness loops (E2-E8) run on the deterministic multicore trial engine
+   (lib/engine): --jobs N (or DIPP_JOBS=N) picks the worker-domain count,
+   DIPP_TRIALS_SEED the experiment seed; the outcome is bit-identical for
+   every N. *)
 
 open Dipp
 
 let line = String.make 78 '-'
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ---- trial-engine front end ---------------------------------------- *)
+
+let jobs_override = ref None
+let jobs () = match !jobs_override with Some j -> j | None -> Pool.default_jobs ()
+
+let trials_seed () =
+  match Sys.getenv_opt "DIPP_TRIALS_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> 42)
+  | None -> 42
+
+let run_experiment tag =
+  Engine.run_all ~jobs:(jobs ()) ~seed:(trials_seed ()) (Soundness.by_experiment tag)
+
+let print_engine_results results =
+  Printf.printf "%-26s %-16s %6s %8s %9s %7s %18s\n" "spec" "adversary" "n" "trials" "rejected"
+    "rate" "95% CI";
+  List.iter
+    (fun r ->
+      let lo, hi = Engine.wilson95 ~rejected:r.Engine.rejected ~total:r.Engine.completed in
+      Printf.printf "%-26s %-16s %6d %8d %9d %6.1f%% [%6.4f, %6.4f]\n" r.Engine.spec.Engine.Spec.id
+        r.Engine.spec.Engine.Spec.adversary r.Engine.spec.Engine.Spec.n r.Engine.completed
+        r.Engine.rejected
+        (100. *. Engine.rejection_rate r)
+        lo hi)
+    results;
+  let wall = List.fold_left (fun acc r -> acc +. r.Engine.wall_clock_s) 0. results in
+  Printf.printf "engine: seed=%d jobs=%d wall-clock=%.2fs\n" (trials_seed ()) (jobs ()) wall
 
 let ceil_log2 n =
   let rec go w = if 1 lsl w >= n then w else go (w + 1) in
@@ -47,26 +82,7 @@ let e1 () =
 
 let e2 () =
   header "E2  LR-sorting: empirical soundness (paper: error 1/polylog n)";
-  Printf.printf "%-18s %8s %4s %8s %10s\n" "adversary" "n" "c" "trials" "rejected";
-  List.iter
-    (fun (name, prover) ->
-      List.iter
-        (fun c ->
-          let n = 300 and trials = 60 in
-          let runs =
-            List.init trials (fun seed ->
-                let path, arcs = Gen.lr_no ~n seed in
-                (Lr_sorting.run ~seed:((seed * 13) + 1) ~c ~prover { Lr_sorting.n; path; arcs })
-                  .Lr_sorting.verdict.Dip.accepted)
-          in
-          Printf.printf "%-18s %8d %4d %8d %9.0f%%\n" name n c trials (100. *. rejection_rate runs))
-        [ 2; 3 ])
-    [
-      ("forge-pairs", Lr_sorting.Forge_pairs);
-      ("shift-positions", Lr_sorting.Shift_positions);
-      ("fake-inner", Lr_sorting.Fake_inner);
-      ("honest-labels", Lr_sorting.Honest);
-    ]
+  print_engine_results (run_experiment "E2")
 
 let e3 () =
   header "E3  Path-outerplanarity (Thm 1.2): size scaling + soundness";
@@ -84,23 +100,7 @@ let e3 () =
         pls.Pls_path_outerplanar.stats.Dip.proof_size_bits
         r.Path_outerplanarity.stats.Dip.interaction_rounds)
     [ 256; 1024; 4096; 16384 ];
-  let trials = 40 in
-  List.iter
-    (fun (name, prover) ->
-      let runs =
-        List.init trials (fun seed ->
-            let g, w = Gen.path_crossing ~n:150 seed in
-            (Path_outerplanarity.run ~seed:((seed * 5) + 2) ~prover
-               { Path_outerplanarity.graph = g; witness = Some w })
-              .Path_outerplanarity.verdict.Dip.accepted)
-      in
-      Printf.printf "soundness vs %-18s: %3.0f%% rejected (%d trials)\n" name
-        (100. *. rejection_rate runs) trials)
-    [
-      ("crossing-sweep", Path_outerplanarity.Crossing_sweep);
-      ("flip-orientation", Path_outerplanarity.Flip_orientation);
-      ("fake-path", Path_outerplanarity.Fake_path);
-    ]
+  print_engine_results (run_experiment "E3")
 
 let e4 () =
   header "E4  Outerplanarity (Thm 1.3): block-cut composition";
@@ -113,15 +113,7 @@ let e4 () =
       Printf.printf "%8d %8d %12d %10d\n" blocks (Graph.n g)
         r.Outerplanarity.stats.Dip.proof_size_bits r.Outerplanarity.stats.Dip.interaction_rounds)
     [ 4; 16; 64; 256 ];
-  let trials = 30 in
-  let runs =
-    List.init trials (fun seed ->
-        let g = Gen.outerplanar_no ~blocks:4 seed in
-        (Outerplanarity.run ~seed ~prover:Outerplanarity.Component_cheat { Outerplanarity.graph = g })
-          .Outerplanarity.verdict.Dip.accepted)
-  in
-  Printf.printf "soundness vs component-cheat: %3.0f%% rejected (%d trials)\n"
-    (100. *. rejection_rate runs) trials
+  print_engine_results (run_experiment "E4")
 
 let e5 () =
   header "E5  Embedded planarity (Thm 1.4): the h(G,T,rho) reduction";
@@ -137,20 +129,7 @@ let e5 () =
       Printf.printf "%8d %8d %12d %10d\n" n (Graph.m g) r.Planar_embedding.stats.Dip.proof_size_bits
         r.Planar_embedding.stats.Dip.interaction_rounds)
     [ 64; 256; 1024 ];
-  let rejected = ref 0 and total = ref 0 in
-  for seed = 0 to 29 do
-    let g = Gen.planar ~n:80 seed in
-    match Gen.corrupted_embedding g (seed + 1) with
-    | Some rot ->
-        incr total;
-        let r =
-          Planar_embedding.run ~seed ~prover:Planar_embedding.Crossing_sweep
-            { Planar_embedding.graph = g; rot }
-        in
-        if not r.Planar_embedding.verdict.Dip.accepted then incr rejected
-    | None -> ()
-  done;
-  Printf.printf "soundness vs corrupted rotations: %d/%d rejected\n" !rejected !total
+  print_engine_results (run_experiment "E5")
 
 let e6 () =
   header "E6  Planarity (Thm 1.5): O(log log n + log Delta) proof size";
@@ -184,15 +163,7 @@ let e6 () =
   run (Gen.planar ~n:1024 1) "stacked triangulation";
   run (wheel 256) "wheel (Delta = n-1)";
   run (wheel 1024) "wheel (Delta = n-1)";
-  let trials = 25 in
-  let runs =
-    List.init trials (fun seed ->
-        (Planarity.run ~seed ~prover:Planarity.Best_rotation
-           { Planarity.graph = Gen.nonplanar ~n:60 seed })
-          .Planarity.verdict.Dip.accepted)
-  in
-  Printf.printf "soundness vs best-rotation on spliced K5: %3.0f%% rejected (%d trials)\n"
-    (100. *. rejection_rate runs) trials;
+  print_engine_results (run_experiment "E6");
   print_endline "shape: within a family bits grow like log log n; the rho column grows";
   print_endline "       like log Delta across families (the additive term of Thm 1.5)."
 
@@ -211,19 +182,7 @@ let e7 () =
         r.Series_parallel_dip.stats.Dip.proof_size_bits
         r.Series_parallel_dip.stats.Dip.interaction_rounds)
     [ 16; 64; 256; 1024 ];
-  let rejected = ref 0 and total = ref 0 in
-  for seed = 0 to 29 do
-    match Gen.series_parallel_no ~size:40 seed with
-    | Some (g, ears) ->
-        incr total;
-        let r =
-          Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Ear_cheat
-            { Series_parallel_dip.graph = g; ears = Some ears }
-        in
-        if not r.Series_parallel_dip.verdict.Dip.accepted then incr rejected
-    | None -> ()
-  done;
-  Printf.printf "soundness vs ear-cheat: %d/%d rejected\n" !rejected !total
+  print_engine_results (run_experiment "E7")
 
 let e8 () =
   header "E8  Treewidth <= 2 (Thm 1.7)";
@@ -236,18 +195,7 @@ let e8 () =
       Printf.printf "%8d %8d %12d %10d\n" blocks (Graph.n g)
         r.Treewidth2_dip.stats.Dip.proof_size_bits r.Treewidth2_dip.stats.Dip.interaction_rounds)
     [ 4; 16; 64 ];
-  let rejected = ref 0 and total = ref 0 in
-  for seed = 0 to 19 do
-    match Gen.treewidth2_no ~blocks:4 seed with
-    | Some g ->
-        incr total;
-        let r =
-          Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Component_cheat { Treewidth2_dip.graph = g }
-        in
-        if not r.Treewidth2_dip.verdict.Dip.accepted then incr rejected
-    | None -> ()
-  done;
-  Printf.printf "soundness vs component-cheat: %d/%d rejected\n" !rejected !total
+  print_engine_results (run_experiment "E8")
 
 let e9 () =
   header "E9  One-round lower bound (Thm 1.8): Omega(log n) label bits";
@@ -715,19 +663,57 @@ let bounds () =
   in
   Printf.printf "\nwrote %s: %d rows, %d with violated claims\n" out (List.length entries) violated
 
+(* The full soundness table on the engine, plus the machine-readable
+   record (trials_report.json; DIPP_TRIALS_OUT overrides the path).  The
+   JSON is byte-identical for every --jobs value: wall-clock and worker
+   count enter it only with DIPP_TRIALS_TIMING=1 (ANALYSIS.md, determinism
+   contract). *)
+let trials () =
+  header "TRIALS  engine soundness record (E2-E8) -> trials_report.json";
+  let seed = trials_seed () in
+  let results = Engine.run_all ~jobs:(jobs ()) ~seed Soundness.specs in
+  print_engine_results results;
+  let timing =
+    match Sys.getenv_opt "DIPP_TRIALS_TIMING" with Some "1" -> true | Some _ | None -> false
+  in
+  Engine.write_report ~timing ~seed results;
+  let out =
+    match Sys.getenv_opt "DIPP_TRIALS_OUT" with Some p -> p | None -> "trials_report.json"
+  in
+  Printf.printf "wrote %s: %d experiments%s\n" out (List.length results)
+    (if timing then " (with timing fields)" else "")
+
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing); ("bounds", bounds);
+    ("trials", trials);
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as picks) ->
+  (* peel --jobs N (anywhere) off the experiment picks *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            jobs_override := Some j;
+            parse acc rest
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer (got %s)\n" v;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects a positive integer\n";
+        exit 2
+    | p :: rest -> parse (p :: acc) rest
+  in
+  match parse [] (List.tl (Array.to_list Sys.argv)) with
+  | _ :: _ as picks ->
       List.iter
         (fun p ->
           match List.assoc_opt (String.lowercase_ascii p) all with
           | Some f -> f ()
-          | None -> Printf.eprintf "unknown experiment %s (expected e1..e11 or timing)\n" p)
+          | None ->
+              Printf.eprintf "unknown experiment %s (expected e1..e11, timing, bounds or trials)\n" p)
         picks
-  | _ -> List.iter (fun (_, f) -> f ()) all
+  | [] -> List.iter (fun (_, f) -> f ()) all

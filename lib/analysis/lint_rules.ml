@@ -29,7 +29,10 @@ let rules =
     };
     {
       id = "rng";
-      summary = "no direct Random.* use outside lib/util/rng.ml; draw through the seeded Rng";
+      summary =
+        "no direct Random.* use outside lib/util/rng.ml (draw through the seeded Rng), and no \
+         module-level Rng streams (Domain-shared mutable state; derive per-trial streams inside \
+         the worker)";
     };
     { id = "obj-magic"; summary = "no Obj.* unsafe casts" };
     {
@@ -92,6 +95,47 @@ let structural_head (e : Parsetree.expression) =
       | Some _ | None -> None)
   | _ -> None
 
+(* A module-level binding holding a live Rng stream is shared by every
+   domain that touches the module: concurrent draws race on its mutable
+   state and break the engine's determinism contract (ANALYSIS.md).
+   Streams built inside a function body are per-call and sanctioned. *)
+let rng_stream_ctor f =
+  match f with "create" | "split" | "split_string" -> true | _ -> false
+
+let toplevel_rng_findings structure =
+  let findings = ref [] in
+  let scan_binding (vb : Parsetree.value_binding) =
+    let found = ref None in
+    let expr self (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ -> () (* per-call streams are fine *)
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) ->
+          (match Ast_scan.last_two txt with
+          | Some ("Rng", f) when rng_stream_ctor f -> (
+              match !found with None -> found := Some loc | Some _ -> ())
+          | Some _ | None -> ());
+          Ast_iterator.default_iterator.expr self e
+      | _ -> Ast_iterator.default_iterator.expr self e
+    in
+    let iter = { Ast_iterator.default_iterator with expr } in
+    iter.expr iter vb.pvb_expr;
+    match !found with
+    | Some loc ->
+        findings :=
+          Report.finding ~loc ~rule:"rng"
+            "module-level Rng stream is Domain-shared mutable state; derive a per-trial stream \
+             (Rng.split / Rng.split_string) inside the function that consumes it"
+          :: !findings
+    | None -> ()
+  in
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter scan_binding vbs
+      | _ -> ())
+    structure;
+  !findings
+
 let hygiene ~filename structure =
   let findings = ref [] in
   let add ~loc rule msg = findings := Report.finding ~loc ~rule msg :: !findings in
@@ -137,7 +181,7 @@ let hygiene ~filename structure =
   in
   let iter = { Ast_iterator.default_iterator with expr } in
   iter.structure iter structure;
-  !findings
+  !findings @ if in_rng_module then [] else toplevel_rng_findings structure
 
 (* ---- entry points ----------------------------------------------------- *)
 

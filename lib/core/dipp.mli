@@ -45,6 +45,11 @@ module Planarity = Dipp_protocols.Planarity
 module Series_parallel_dip = Dipp_protocols.Series_parallel_dip
 module Treewidth2_dip = Dipp_protocols.Treewidth2_dip
 
+(* trial engine: deterministic multicore experiment execution *)
+module Pool = Dipp_engine.Pool
+module Engine = Dipp_engine.Engine
+module Soundness = Dipp_engine.Soundness
+
 (* baselines + lower bound *)
 module Pls_lr_sorting = Dipp_baselines.Pls_lr_sorting
 module Pls_path_outerplanar = Dipp_baselines.Pls_path_outerplanar

@@ -186,6 +186,37 @@ let merge_parallel stats_list =
           })
         first rest
 
+(* Pointwise-max analogue of [merge_per_phase]: repeated trials of the
+   same protocol do not concatenate labels, so the round-i phase maximum
+   is the max over trials, not the sum. *)
+let merge_per_phase_max a b =
+  let long, short = if List.length a >= List.length b then (a, b) else (b, a) in
+  let rec go l s =
+    match (l, s) with
+    | rest, [] -> rest
+    | [], _ :: _ -> []
+    | (ph, bits) :: tl, (_, bits') :: ts -> (ph, max bits bits') :: go tl ts
+  in
+  go long short
+
+let merge_trials stats_list =
+  match stats_list with
+  | [] -> invalid_arg "Dip.merge_trials"
+  | first :: rest ->
+      List.fold_left
+        (fun acc s ->
+          {
+            interaction_rounds = max acc.interaction_rounds s.interaction_rounds;
+            proof_size_bits = max acc.proof_size_bits s.proof_size_bits;
+            max_node_total_bits = max acc.max_node_total_bits s.max_node_total_bits;
+            total_prover_bits = acc.total_prover_bits + s.total_prover_bits;
+            total_verifier_bits = acc.total_verifier_bits + s.total_verifier_bits;
+            phases =
+              (if List.length acc.phases >= List.length s.phases then acc.phases else s.phases);
+            per_phase = merge_per_phase_max acc.per_phase s.per_phase;
+          })
+        first rest
+
 let pp_stats ppf s =
   Format.fprintf ppf "rounds=%d proof=%db node-total=%db prover-total=%db coins=%db"
     s.interaction_rounds s.proof_size_bits s.max_node_total_bits s.total_prover_bits

@@ -97,6 +97,14 @@ val pp_transcript : ?max_nodes:int -> Format.formatter -> (phase * Bits.t array)
 (** Bit-level rendering of a transcript, one row per node, truncated to
     [max_nodes] (default 16). *)
 
+val merge_trials : stats list -> stats
+(** Stats of independent repetitions (trials) of the same protocol: the
+    proof-size, node-total and per-phase columns are pointwise maxima over
+    the trials (an envelope — no labels concatenate across trials), while
+    the prover/verifier bit totals add, giving the cumulative work of the
+    whole trial batch.  Rounds are the max; the longer schedule wins.
+    Raises [Invalid_argument] on the empty list. *)
+
 val merge_parallel : stats list -> stats
 (** Stats of protocols executed in parallel (same rounds, labels
     concatenated per phase): rounds = max, label sizes and totals add.

@@ -1,0 +1,129 @@
+module Spec = Spec
+
+type result = {
+  spec : Spec.t;
+  completed : int;
+  rejected : int;
+  envelope : Dip.stats option;
+  wall_clock_s : float;
+  jobs : int;
+}
+
+let rejection_rate r =
+  if r.completed = 0 then 0. else float_of_int r.rejected /. float_of_int r.completed
+
+let wilson95 ~rejected ~total =
+  if total = 0 then (0., 0.)
+  else begin
+    let z = 1.96 in
+    let n = float_of_int total in
+    let p = float_of_int rejected /. n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    let center = (p +. (z2 /. (2. *. n))) /. denom in
+    let half =
+      z *. sqrt (((p *. (1. -. p)) /. n) +. (z2 /. (4. *. n *. n))) /. denom
+    in
+    (max 0. (center -. half), min 1. (center +. half))
+  end
+
+let run ?jobs ~seed (spec : Spec.t) =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let spec_rng = Rng.split_string (Rng.create seed) spec.Spec.id in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.run ~jobs spec.Spec.trials (fun i -> spec.Spec.trial (Rng.split spec_rng i) i)
+  in
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  (* Fold in index order: the aggregate must not depend on which worker
+     finished first. *)
+  let completed = ref 0 and rejected = ref 0 and stats_rev = ref [] in
+  Array.iter
+    (fun o ->
+      match o with
+      | None -> ()
+      | Some { Spec.accepted; stats } ->
+          incr completed;
+          if not accepted then incr rejected;
+          stats_rev := stats :: !stats_rev)
+    outcomes;
+  let envelope =
+    match !stats_rev with [] -> None | l -> Some (Dip.merge_trials (List.rev l))
+  in
+  { spec; completed = !completed; rejected = !rejected; envelope; wall_clock_s; jobs }
+
+let run_all ?jobs ~seed specs = List.map (fun s -> run ?jobs ~seed s) specs
+
+(* ---- the trials_report.json payload ---------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_string ?(timing = false) ~seed results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"seed\": %d, \"experiments\": [" seed);
+  List.iteri
+    (fun i r ->
+      let lo, hi = wilson95 ~rejected:r.rejected ~total:r.completed in
+      let rounds, max_proof, max_node, prover_total, verifier_total =
+        match r.envelope with
+        | None -> (0, 0, 0, 0, 0)
+        | Some s ->
+            ( s.Dip.interaction_rounds,
+              s.Dip.proof_size_bits,
+              s.Dip.max_node_total_bits,
+              s.Dip.total_prover_bits,
+              s.Dip.total_verifier_bits )
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s\n\
+           \  {\"id\": \"%s\", \"experiment\": \"%s\", \"family\": \"%s\", \"adversary\": \
+            \"%s\",\n\
+           \   \"n\": %d, \"trials\": %d, \"completed\": %d, \"rejected\": %d,\n\
+           \   \"rejection_rate\": %.6f, \"ci95_low\": %.6f, \"ci95_high\": %.6f,\n\
+           \   \"rounds\": %d, \"max_proof_bits\": %d, \"max_node_total_bits\": %d,\n\
+           \   \"total_prover_bits\": %d, \"total_verifier_bits\": %d%s}"
+           (if i = 0 then "" else ",")
+           (json_escape r.spec.Spec.id)
+           (json_escape r.spec.Spec.experiment)
+           (json_escape r.spec.Spec.family)
+           (json_escape r.spec.Spec.adversary)
+           r.spec.Spec.n r.spec.Spec.trials r.completed r.rejected (rejection_rate r) lo hi
+           rounds max_proof max_node prover_total verifier_total
+           (if timing then
+              Printf.sprintf ",\n   \"jobs\": %d, \"wall_clock_s\": %.3f" r.jobs r.wall_clock_s
+            else "")))
+    results;
+  let total_wall = List.fold_left (fun acc r -> acc +. r.wall_clock_s) 0. results in
+  Buffer.add_string b
+    (if timing then
+       Printf.sprintf "\n],\n \"jobs\": %d, \"wall_clock_s\": %.3f}\n"
+         (match results with r :: _ -> r.jobs | [] -> 1)
+         total_wall
+     else "\n]}\n");
+  Buffer.contents b
+
+let write_report ?path ?timing ~seed results =
+  let path =
+    match path with
+    | Some p -> p
+    | None -> (
+        match Sys.getenv_opt "DIPP_TRIALS_OUT" with
+        | Some p -> p
+        | None -> "trials_report.json")
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (report_string ?timing ~seed results))

@@ -1,0 +1,43 @@
+let clamp_jobs j = if j < 1 then 1 else if j > 64 then 64 else j
+
+let default_jobs () =
+  match Sys.getenv_opt "DIPP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> clamp_jobs j
+      | Some _ | None -> clamp_jobs (Domain.recommended_domain_count ()))
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let run ?jobs n f =
+  if n < 0 then invalid_arg "Pool.run";
+  let jobs =
+    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  if jobs <= 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    (* Each worker claims the next free index; writes go to distinct cells
+       so the only cross-domain contention is the claim counter. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set first_error None (Some e)));
+          match Atomic.get first_error with None -> loop () | Some _ -> ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get first_error with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end

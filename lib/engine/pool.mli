@@ -1,0 +1,23 @@
+(** Domain-based work-stealing pool for independent trials.
+
+    [run n f] evaluates [f 0 .. f (n-1)] across OCaml 5 domains and returns
+    the results in index order.  Work is distributed dynamically (each
+    worker claims the next unclaimed index from a shared atomic counter),
+    so stragglers never idle the pool; because every trial's inputs are
+    derived from its index alone — never from worker identity or claim
+    order — the result array is identical for every worker count.
+
+    With [jobs = 1] (or [n <= 1]) no domain is spawned and the pool
+    degrades to a plain sequential loop, so the engine runs unchanged on
+    runtimes where spawning is undesirable. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [run] is not given [~jobs]: the [DIPP_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [\[1, 64\]]. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ?jobs n f] is [[| f 0; ...; f (n-1) |]], computed by up to [jobs]
+    domains (including the calling one).  If any [f i] raises, the first
+    exception observed is re-raised in the caller after all workers have
+    stopped claiming work.  Raises [Invalid_argument] if [n < 0]. *)

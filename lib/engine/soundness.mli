@@ -1,0 +1,20 @@
+(** The named soundness experiments of EXPERIMENTS.md (E2–E8) as engine
+    specs.
+
+    One spec per (protocol, adversary, parameter) row: E2's LR-sorting
+    adversaries at both soundness constants, E3's path-outerplanarity
+    adversaries, E4's outerplanarity component-cheat, E5's corrupted
+    rotation systems, E6's best-rotation prover on spliced K5s, E7's
+    series-parallel ear-cheat and E8's treewidth-2 component-cheat.  Trial
+    counts are the bench defaults (~10x the pre-engine sequential loops);
+    tests rerun reduced batches via {!Spec.with_trials}, which leaves
+    per-index outcomes unchanged. *)
+
+val specs : Spec.t list
+(** All rows, in table order (E2 first). *)
+
+val by_experiment : string -> Spec.t list
+(** [by_experiment "E2"] filters {!specs} by the experiment tag. *)
+
+val find : string -> Spec.t option
+(** Lookup by exact spec [id], e.g. ["e2/forge-pairs/c2"]. *)

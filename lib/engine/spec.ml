@@ -1,0 +1,13 @@
+type outcome = { accepted : bool; stats : Dip.stats }
+
+type t = {
+  id : string;
+  experiment : string;
+  family : string;
+  adversary : string;
+  n : int;
+  trials : int;
+  trial : Rng.t -> int -> outcome option;
+}
+
+let with_trials trials t = { t with trials }

@@ -1,0 +1,32 @@
+(** Typed experiment registry for the trial engine.
+
+    A spec is one row of a soundness/completeness table: a named graph
+    family, a named (usually adversarial) prover strategy, an instance
+    size, a trial count, and the per-trial closure itself.  The closure is
+    handed a private RNG stream — derived by the engine from the experiment
+    seed and the spec [id] and trial index only — and must draw every
+    random choice (generator seed, protocol seed) from that stream, so a
+    spec's outcome is a pure function of [(experiment seed, id, index)]
+    regardless of scheduling. *)
+
+type outcome = {
+  accepted : bool;  (** the protocol run's verdict *)
+  stats : Dip.stats;  (** that run's complexity record *)
+}
+
+type t = {
+  id : string;  (** unique key, e.g. ["e2/forge-pairs/c2"]; names the RNG stream *)
+  experiment : string;  (** table this row feeds, e.g. ["E2"] *)
+  family : string;  (** instance family, e.g. ["lr-no n=300"] *)
+  adversary : string;  (** prover strategy under test *)
+  n : int;  (** instance size parameter *)
+  trials : int;  (** default trial count *)
+  trial : Rng.t -> int -> outcome option;
+      (** [trial rng i] runs trial [i] on its private stream [rng]; [None]
+          marks a degenerate draw (the generator could not produce an
+          instance), which the engine excludes from the rate denominator. *)
+}
+
+val with_trials : int -> t -> t
+(** The same spec at a different trial count (tests run reduced batches;
+    outcomes for trial [i] are unchanged because streams are per-index). *)

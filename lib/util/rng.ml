@@ -19,6 +19,16 @@ let split t salt =
   let s = mix (Int64.add t.seed (Int64.mul (Int64.of_int (salt + 1)) golden)) in
   { state = s; seed = s }
 
+(* FNV-1a 64-bit over the label, finalized through the SplitMix64 mixer so
+   labels differing in a few low bits land in unrelated streams. *)
+let split_string t label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001B3L)
+    label;
+  let s = mix (Int64.add t.seed (mix !h)) in
+  { state = s; seed = s }
+
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
 let int t bound =

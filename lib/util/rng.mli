@@ -15,6 +15,13 @@ val split : t -> int -> t
 (** [split t salt] derives an independent generator; the same [(t-seed,
     salt)] pair always yields the same stream. *)
 
+val split_string : t -> string -> t
+(** [split_string t label] derives an independent generator keyed by a
+    textual label (e.g. an experiment id).  Like {!split}, the derivation
+    depends only on [t]'s seed and [label] — never on how much of [t] has
+    been consumed — so derived streams are stable no matter which worker
+    domain draws them, or in which order. *)
+
 val bits64 : t -> int64
 val bool : t -> bool
 

@@ -173,7 +173,21 @@ let test_rng () =
   (* the one module allowed to touch Random is the seeded wrapper itself *)
   Alcotest.(check (list string))
     "Random allowed inside lib/util/rng.ml" []
-    (rules_of (Lint.lint_source ~filename:"lib/util/rng.ml" "let raw () = Random.bits ()"))
+    (rules_of (Lint.lint_source ~filename:"lib/util/rng.ml" "let raw () = Random.bits ()"));
+  (* a module-level stream is Domain-shared mutable state: the engine's
+     determinism contract requires per-trial streams derived inside the
+     worker, never a global one raced over by the pool *)
+  check_fires "toplevel Rng.create" "rng"
+    "let shared = Rng.create 42\nlet draw () = Rng.int shared 10";
+  check_fires "toplevel Rng.split" "rng" "let worker = Rng.split base 3";
+  check_fires "toplevel Rng.split_string" "rng" "let stream = Rng.split_string root \"e2\"";
+  check_clean "per-call stream is sanctioned"
+    "let fresh seed = let rng = Rng.create seed in Rng.int rng 10";
+  check_clean "per-trial split inside the worker"
+    "let trial spec_rng i = let rng = Rng.split spec_rng i in Rng.int rng 10";
+  Alcotest.(check (list string))
+    "toplevel stream allowed inside lib/util/rng.ml" []
+    (rules_of (Lint.lint_source ~filename:"lib/util/rng.ml" "let default = Rng.create 0"))
 
 (* ---- hygiene ---------------------------------------------------------- *)
 
