@@ -9,6 +9,9 @@
      dune exec bench/main.exe bounds     claim-vs-measured bounds_report.json
      dune exec bench/main.exe -- trials [--jobs N]
                                          engine soundness trials + trials_report.json
+     dune exec bench/main.exe -- faults [--jobs N]
+                                         fault-injection sweep + faults_report.json
+   Unknown commands or flags exit with code 2 and a usage message.
 
    Soundness loops (E2-E8) run on the deterministic multicore trial engine
    (lib/engine): --jobs N (or DIPP_JOBS=N) picks the worker-domain count,
@@ -683,15 +686,43 @@ let trials () =
   Printf.printf "wrote %s: %d experiments%s\n" out (List.length results)
     (if timing then " (with timing fields)" else "")
 
+(* The fault-injection sweep on the network runtime (lib/net): every
+   default protocol family executed across the fault-model grid, with the
+   byte-identical-across---jobs faults_report.json record (DIPP_FAULTS_OUT
+   overrides the path, DIPP_FAULTS_TRIALS the per-point trial count). *)
+let faults () =
+  header "FAULTS  acceptance under network faults (lib/net) -> faults_report.json";
+  let seed = trials_seed () in
+  let sw = Fault_sweep.default_sweep () in
+  let points = Fault_sweep.run_sweep ~jobs:(jobs ()) ~seed sw in
+  Fault_sweep.print_table points;
+  let path = Fault_sweep.write_report ~seed points in
+  Printf.printf "wrote %s: %d sweep points (seed=%d jobs=%d trials/point=%d)\n" path
+    (List.length points) seed (jobs ()) sw.Fault_sweep.trials
+
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing); ("bounds", bounds);
-    ("trials", trials);
+    ("trials", trials); ("faults", faults);
   ]
 
+let usage oc =
+  output_string oc
+    "usage: main.exe [--jobs N] [COMMAND ...]\n\
+     commands:\n\
+    \  e1 .. e11        one experiment (see EXPERIMENTS.md)\n\
+    \  ablation         design-choice ablations A1-A3\n\
+    \  open-questions   per-round communication breakdown\n\
+    \  timing           bechamel wall-clock benches\n\
+    \  bounds           claim-vs-measured bounds_report.json\n\
+    \  trials           engine soundness trials -> trials_report.json\n\
+    \  faults           fault-injection sweep -> faults_report.json\n\
+     with no COMMAND, every experiment runs in order.\n"
+
 let () =
-  (* peel --jobs N (anywhere) off the experiment picks *)
+  (* peel --jobs N (anywhere) off the experiment picks; any other flag is
+     an error (exit 2, the usage-error code shared with lib/analysis/cli) *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--jobs" :: v :: rest -> (
@@ -701,19 +732,32 @@ let () =
             parse acc rest
         | Some _ | None ->
             Printf.eprintf "--jobs expects a positive integer (got %s)\n" v;
+            usage stderr;
             exit 2)
     | [ "--jobs" ] ->
         Printf.eprintf "--jobs expects a positive integer\n";
+        usage stderr;
+        exit 2
+    | ("--help" | "-h") :: _ ->
+        usage stdout;
+        exit 0
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        Printf.eprintf "unknown flag %s\n" flag;
+        usage stderr;
         exit 2
     | p :: rest -> parse (p :: acc) rest
   in
-  match parse [] (List.tl (Array.to_list Sys.argv)) with
-  | _ :: _ as picks ->
-      List.iter
-        (fun p ->
-          match List.assoc_opt (String.lowercase_ascii p) all with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %s (expected e1..e11, timing, bounds or trials)\n" p)
-        picks
+  let picks = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (* reject any unknown command before running anything *)
+  let unknown =
+    List.filter (fun p -> not (List.mem_assoc (String.lowercase_ascii p) all)) picks
+  in
+  (match unknown with
+  | [] -> ()
+  | _ :: _ ->
+      List.iter (fun p -> Printf.eprintf "unknown command %s\n" p) unknown;
+      usage stderr;
+      exit 2);
+  match picks with
+  | _ :: _ -> List.iter (fun p -> (List.assoc (String.lowercase_ascii p) all) ()) picks
   | [] -> List.iter (fun (_, f) -> f ()) all

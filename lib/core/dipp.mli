@@ -50,6 +50,12 @@ module Pool = Dipp_engine.Pool
 module Engine = Dipp_engine.Engine
 module Soundness = Dipp_engine.Soundness
 
+(* fault-injecting network runtime *)
+module Fault = Dipp_net.Fault
+module Net = Dipp_net.Net
+module Net_protocols = Dipp_net.Net_protocols
+module Fault_sweep = Dipp_engine.Fault_sweep
+
 (* baselines + lower bound *)
 module Pls_lr_sorting = Dipp_baselines.Pls_lr_sorting
 module Pls_path_outerplanar = Dipp_baselines.Pls_path_outerplanar

@@ -157,15 +157,27 @@ let all_accept ~n decide =
    run their rounds simultaneously, so the label sent in round i of the
    combination concatenates the round-i labels and its phase-max bits add.
    Rounds past the shorter schedule are kept as-is from the longer one. *)
-let merge_per_phase a b =
+(* Shared zipper for the two per-phase merges.  The shorter list must be a
+   schedule prefix of the longer: merging a prover round into a verifier
+   round (or vice versa) would silently mis-account bits, so a phase-kind
+   mismatch is a hard [Invalid_argument]. *)
+let merge_per_phase_with ~who op a b =
   let long, short = if List.length a >= List.length b then (a, b) else (b, a) in
-  let rec go l s =
+  let rec go round l s =
     match (l, s) with
     | rest, [] -> rest
     | [], _ :: _ -> []
-    | (ph, bits) :: tl, (_, bits') :: ts -> (ph, bits + bits') :: go tl ts
+    | (ph, bits) :: tl, (ph', bits') :: ts ->
+        if not (phase_equal ph ph') then
+          invalid_arg
+            (Printf.sprintf "%s: phase kind mismatch at round %d (%s vs %s)" who round
+               (match ph with Prover_phase -> "P" | Verifier_phase -> "V")
+               (match ph' with Prover_phase -> "P" | Verifier_phase -> "V"));
+        (ph, op bits bits') :: go (round + 1) tl ts
   in
-  go long short
+  go 1 long short
+
+let merge_per_phase a b = merge_per_phase_with ~who:"Dip.merge_per_phase" ( + ) a b
 
 let merge_parallel stats_list =
   match stats_list with
@@ -189,15 +201,7 @@ let merge_parallel stats_list =
 (* Pointwise-max analogue of [merge_per_phase]: repeated trials of the
    same protocol do not concatenate labels, so the round-i phase maximum
    is the max over trials, not the sum. *)
-let merge_per_phase_max a b =
-  let long, short = if List.length a >= List.length b then (a, b) else (b, a) in
-  let rec go l s =
-    match (l, s) with
-    | rest, [] -> rest
-    | [], _ :: _ -> []
-    | (ph, bits) :: tl, (_, bits') :: ts -> (ph, max bits bits') :: go tl ts
-  in
-  go long short
+let merge_per_phase_max a b = merge_per_phase_with ~who:"Dip.merge_per_phase_max" max a b
 
 let merge_trials stats_list =
   match stats_list with

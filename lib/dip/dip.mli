@@ -103,7 +103,10 @@ val merge_trials : stats list -> stats
     the trials (an envelope — no labels concatenate across trials), while
     the prover/verifier bit totals add, giving the cumulative work of the
     whole trial batch.  Rounds are the max; the longer schedule wins.
-    Raises [Invalid_argument] on the empty list. *)
+    Raises [Invalid_argument] on the empty list, and when two inputs
+    disagree on a phase kind at the same round (a prover round merged into
+    a verifier round would mis-account bits): the shorter schedule must be
+    a prefix of the longer. *)
 
 val merge_parallel : stats list -> stats
 (** Stats of protocols executed in parallel (same rounds, labels
@@ -112,4 +115,6 @@ val merge_parallel : stats list -> stats
     the true concatenated maximum that preserves every asymptotic claim.
     [per_phase] is merged round by round (summing the per-round phase
     maxima, since round-i labels concatenate); rounds beyond the shorter
-    schedule are kept from the longer one, whose phase kinds also win. *)
+    schedule are kept from the longer one.  Raises [Invalid_argument] on
+    the empty list, and when two inputs disagree on a phase kind at the
+    same round: the shorter schedule must be a prefix of the longer. *)

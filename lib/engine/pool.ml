@@ -1,11 +1,23 @@
 let clamp_jobs j = if j < 1 then 1 else if j > 64 then 64 else j
 
+let warned_invalid_jobs = ref false
+
+let warn_invalid_jobs s =
+  if not !warned_invalid_jobs then begin
+    warned_invalid_jobs := true;
+    Printf.eprintf "DIPP_JOBS=%s is not a positive integer; running sequentially (jobs=1)\n%!" s
+  end
+
 let default_jobs () =
   match Sys.getenv_opt "DIPP_JOBS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> clamp_jobs j
-      | Some _ | None -> clamp_jobs (Domain.recommended_domain_count ()))
+      | Some _ | None ->
+          (* an explicitly-set but invalid DIPP_JOBS must not silently fan
+             out to all cores: degrade to sequential and say so once *)
+          warn_invalid_jobs s;
+          1)
   | None -> clamp_jobs (Domain.recommended_domain_count ())
 
 let run ?jobs n f =

@@ -13,8 +13,12 @@
 
 val default_jobs : unit -> int
 (** Worker count used when [run] is not given [~jobs]: the [DIPP_JOBS]
-    environment variable if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]; clamped to [\[1, 64\]]. *)
+    environment variable if set to a positive integer (clamped to
+    [\[1, 64\]]), otherwise [Domain.recommended_domain_count ()].  A
+    [DIPP_JOBS] that is set but not a positive integer (zero, negative,
+    non-numeric) clamps to sequential execution ([1]) and prints a one-line
+    warning to stderr the first time it is seen — an explicit but broken
+    setting must not silently fan out to every core. *)
 
 val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ?jobs n f] is [[| f 0; ...; f (n-1) |]], computed by up to [jobs]

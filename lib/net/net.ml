@@ -1,0 +1,259 @@
+type config = {
+  latency : int;
+  timeout : int;
+  retries : int;
+  phase_gap : int;
+  deadline : int;
+}
+
+let default_config = { latency = 1; timeout = 4; retries = 3; phase_gap = 64; deadline = 60 }
+
+type degradation = Strict | Degrade of { quorum : float }
+
+type protocol = {
+  name : string;
+  graph : Graph.t;
+  rounds : Bits.t array array;
+  checksum : bool;
+  node_check : int -> (int -> Bits.t array option) -> bool;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  corrupted : int;
+  duplicated : int;
+  late : int;
+  retransmits : int;
+  acks : int;
+}
+
+type result = {
+  accepted : bool;
+  rejecting : int list;
+  crashed_nodes : int list;
+  heard : float;
+  stats : stats;
+}
+
+(* ---- deterministic event queue --------------------------------------- *)
+
+(* Events are ordered by (time, insertion sequence).  The simulation is
+   single-threaded and inserts in a fixed order, so the sequence numbers —
+   and hence the whole processing order — are a pure function of the
+   protocol, config, fault model and seed. *)
+module Q = Map.Make (struct
+  type t = int * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end)
+
+type event =
+  | Send of { src : int; dst : int; round : int; attempt : int }
+  | Data of { src : int; dst : int; round : int; payload : Bits.t; corrupted : bool }
+  | Ack of { src : int; dst : int; round : int }
+
+type state = {
+  queue : event Q.t ref;
+  seq : int ref;
+  (* per directed link, the next delivery index (fault-stream key) *)
+  link_ix : (int * int, int ref) Hashtbl.t;
+  (* (src, dst, round) acknowledged — stops the retransmission chain *)
+  acked : (int * int * int, unit) Hashtbl.t;
+  (* (dst, src, round) -> first recorded payload *)
+  got : (int * int * int, Bits.t) Hashtbl.t;
+  crash_at : int array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable late : int;
+  mutable retransmits : int;
+  mutable acks : int;
+}
+
+let push st ~at ev =
+  incr st.seq;
+  st.queue := Q.add (at, !(st.seq)) ev !(st.queue)
+
+let next_ix st u v =
+  match Hashtbl.find_opt st.link_ix (u, v) with
+  | Some r ->
+      let ix = !r in
+      incr r;
+      ix
+  | None ->
+      Hashtbl.replace st.link_ix (u, v) (ref 1);
+      0
+
+let link_id u v = Printf.sprintf "%d>%d" u v
+
+let round_start cfg r = r * cfg.phase_gap
+
+(* One transmission attempt on the directed link u -> v; schedules the
+   resulting arrivals (if any) as [mk payload corrupted] events. *)
+let transmit_on st ~rng ~model ~cfg ~now u v payload mk =
+  let ix = next_ix st u v in
+  let out =
+    Fault.transmit ~rng ~link:(link_id u v) ~ix ~now ~latency:cfg.latency model payload
+  in
+  if out.Fault.was_dropped then st.dropped <- st.dropped + 1;
+  if out.Fault.was_duplicated then st.duplicated <- st.duplicated + 1;
+  List.iter
+    (fun d ->
+      if d.Fault.corrupted then st.corrupted <- st.corrupted + 1;
+      push st ~at:d.Fault.at (mk d.Fault.payload d.Fault.corrupted))
+    out.Fault.deliveries
+
+let execute ?(config = default_config) ?(mode = Strict) ~rng ~model proto =
+  let g = proto.graph in
+  let n = Graph.n g in
+  let nrounds = Array.length proto.rounds in
+  let cfg = config in
+  let crash_at = Array.make n max_int in
+  for v = 0 to n - 1 do
+    match Fault.crash_round ~rng ~node:v ~rounds:nrounds model with
+    | Some r -> crash_at.(v) <- round_start cfg r
+    | None -> ()
+  done;
+  let st =
+    {
+      queue = ref Q.empty;
+      seq = ref 0;
+      link_ix = Hashtbl.create 64;
+      acked = Hashtbl.create 64;
+      got = Hashtbl.create 64;
+      crash_at;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      corrupted = 0;
+      duplicated = 0;
+      late = 0;
+      retransmits = 0;
+      acks = 0;
+    }
+  in
+  (* initial sends: round r's labels leave at the round start, one message
+     per directed edge *)
+  for r = 0 to nrounds - 1 do
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun u -> push st ~at:(round_start cfg r) (Send { src = v; dst = u; round = r; attempt = 0 }))
+        (Graph.neighbors g v)
+    done
+  done;
+  let handle now ev =
+    match ev with
+    | Send { src; dst; round; attempt } ->
+        if now < st.crash_at.(src) && not (Hashtbl.mem st.acked (src, dst, round)) then begin
+          if attempt > 0 then st.retransmits <- st.retransmits + 1;
+          st.sent <- st.sent + 1;
+          if attempt < cfg.retries then
+            push st
+              ~at:(now + (cfg.timeout * (1 lsl attempt)))
+              (Send { src; dst; round; attempt = attempt + 1 });
+          transmit_on st ~rng ~model ~cfg ~now src dst proto.rounds.(round).(src)
+            (fun payload corrupted -> Data { src; dst; round; payload; corrupted })
+        end
+    | Data { src; dst; round; payload; corrupted } ->
+        st.delivered <- st.delivered + 1;
+        if now < st.crash_at.(dst) then
+          if proto.checksum && corrupted then
+            (* the frame check detects the flip: discard silently, so the
+               sender's retransmission chain covers it like a drop *)
+            ()
+          else begin
+            if now > round_start cfg round + cfg.deadline then st.late <- st.late + 1
+            else if not (Hashtbl.mem st.got (dst, src, round)) then
+              Hashtbl.replace st.got (dst, src, round) payload;
+            (* always acknowledge a structurally valid frame, even a late
+               or duplicate one, to quiet the sender *)
+            st.acks <- st.acks + 1;
+            transmit_on st ~rng ~model ~cfg ~now dst src Bits.empty (fun _ _ ->
+                Ack { src; dst; round })
+          end
+    | Ack { src; dst; round } ->
+        st.delivered <- st.delivered + 1;
+        Hashtbl.replace st.acked (src, dst, round) ()
+  in
+  let rec drain () =
+    match Q.min_binding_opt !(st.queue) with
+    | None -> ()
+    | Some (((at, _) as key), ev) ->
+        st.queue := Q.remove key !(st.queue);
+        handle at ev;
+        drain ()
+  in
+  drain ();
+  (* ---- decisions ---- *)
+  let view_of v u =
+    let rec collect r acc =
+      if r < 0 then Some (Array.of_list acc)
+      else
+        match Hashtbl.find_opt st.got (v, u, r) with
+        | Some b -> collect (r - 1) (b :: acc)
+        | None -> None
+    in
+    collect (nrounds - 1) []
+  in
+  let crashed_nodes = ref [] in
+  let rejecting = ref [] in
+  let heard_sum = ref 0. in
+  let live = ref 0 in
+  for v = n - 1 downto 0 do
+    if st.crash_at.(v) < max_int then crashed_nodes := v :: !crashed_nodes
+    else begin
+      incr live;
+      let ns = Graph.neighbors g v in
+      let deg = Array.length ns in
+      let views = Array.map (fun u -> (u, view_of v u)) ns in
+      let visible =
+        Array.fold_left (fun acc (_, w) -> match w with Some _ -> acc + 1 | None -> acc) 0 views
+      in
+      heard_sum :=
+        !heard_sum +. (if deg = 0 then 1. else float_of_int visible /. float_of_int deg);
+      let fetch u =
+        let found = ref None in
+        Array.iter (fun (u', w) -> if u' = u then found := w) views;
+        !found
+      in
+      let ok =
+        match mode with
+        | Strict -> visible = deg && proto.node_check v fetch
+        | Degrade { quorum } ->
+            (deg = 0 || float_of_int visible >= quorum *. float_of_int deg)
+            && proto.node_check v fetch
+      in
+      if not ok then rejecting := v :: !rejecting
+    end
+  done;
+  let crashed_nodes = !crashed_nodes and rejecting = !rejecting in
+  let accepted =
+    n = 0 || (!live > 0 && (match rejecting with [] -> true | _ :: _ -> false))
+  in
+  {
+    accepted;
+    rejecting;
+    crashed_nodes;
+    heard = (if !live = 0 then 0. else !heard_sum /. float_of_int !live);
+    stats =
+      {
+        sent = st.sent;
+        delivered = st.delivered;
+        dropped = st.dropped;
+        corrupted = st.corrupted;
+        duplicated = st.duplicated;
+        late = st.late;
+        retransmits = st.retransmits;
+        acks = st.acks;
+      };
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "sent=%d delivered=%d dropped=%d corrupted=%d duplicated=%d late=%d retransmits=%d acks=%d"
+    s.sent s.delivered s.dropped s.corrupted s.duplicated s.late s.retransmits s.acks

@@ -1,0 +1,86 @@
+(** Deterministic discrete-event message-passing runtime for DIP execution.
+
+    The synchronous harness hands every decision function its neighbors'
+    labels by direct call; this runtime replaces that step with real
+    messages.  A {!protocol} value names, per prover round, the label each
+    node must ship to each neighbor; {!execute} turns every (round, edge)
+    pair into transmissions on a per-edge link governed by a {!Fault.model}
+    (drop, delay/reorder, duplication, bit corruption, node crash), with
+    per-message acknowledgements, timeout-driven retransmission under
+    bounded exponential backoff, and a per-round receive deadline.
+
+    After the event queue drains, every live node runs the protocol's local
+    check against the labels that actually arrived, under a {!degradation}
+    policy: [Strict] rejects unless the full neighborhood was heard;
+    [Degrade] skips unheard neighbors but rejects on quorum loss.  The run
+    accepts iff no live node rejects (and at least one node survived).
+
+    Determinism contract (ANALYSIS.md): every fault draw comes from an
+    {!Rng} stream keyed by [(seed, link id, delivery index)] (crashes:
+    [(seed, node id)]) via {!Rng.split_string}; the event queue breaks time
+    ties by insertion order, which is itself fixed.  A run's {!result} is
+    therefore a pure function of [(protocol, config, model, rng seed)] —
+    byte-identical across worker counts and machines. *)
+
+type config = {
+  latency : int;  (** base link latency, ticks *)
+  timeout : int;  (** initial retransmission timeout; doubles per attempt *)
+  retries : int;  (** retransmission attempts after the first send *)
+  phase_gap : int;  (** ticks between consecutive round starts *)
+  deadline : int;  (** a round's labels must arrive within this many ticks *)
+}
+
+val default_config : config
+(** [{latency = 1; timeout = 4; retries = 3; phase_gap = 64; deadline = 60}]:
+    the full backoff chain (4 + 8 + 16 ticks) and a moderately delayed last
+    copy still meet the deadline; anything slower is late. *)
+
+type degradation =
+  | Strict  (** reject unless every neighbor's every round arrived intact *)
+  | Degrade of { quorum : float }
+      (** decide from the labels that arrived; reject iff the fraction of
+          fully-heard neighbors falls below [quorum] *)
+
+type protocol = {
+  name : string;
+  graph : Graph.t;  (** the communication graph *)
+  rounds : Bits.t array array;  (** [rounds.(r).(v)]: node [v]'s round-[r] label *)
+  checksum : bool;
+      (** with a frame check, corrupted arrivals are detected and discarded
+          (the retransmission chain covers them like drops); without it the
+          corrupted bits reach the decision function *)
+  node_check : int -> (int -> Bits.t array option) -> bool;
+      (** [node_check v recv]: the local decision at [v], reading neighbor
+          [u]'s labels through [recv u] — [Some] per-round payloads iff every
+          round from [u] arrived (possibly corrupted when [checksum] is
+          off), [None] otherwise.  Must skip checks that need an unheard
+          neighbor (the policy layer has already applied Strict/quorum). *)
+}
+
+type stats = {
+  sent : int;  (** transmission attempts (data frames) *)
+  delivered : int;  (** frames that reached a receiver (data + acks) *)
+  dropped : int;  (** transmissions lost to the drop fault *)
+  corrupted : int;  (** delivered copies with a flipped bit *)
+  duplicated : int;  (** transmissions that spawned a second copy *)
+  late : int;  (** valid frames discarded for missing the round deadline *)
+  retransmits : int;  (** sends with attempt > 0 *)
+  acks : int;  (** acknowledgements issued *)
+}
+
+type result = {
+  accepted : bool;  (** no live node rejected, and someone survived *)
+  rejecting : int list;  (** live nodes that rejected, ascending *)
+  crashed_nodes : int list;  (** crash-stopped nodes, ascending *)
+  heard : float;  (** mean fraction of fully-heard neighbors over live nodes *)
+  stats : stats;
+}
+
+val execute :
+  ?config:config -> ?mode:degradation -> rng:Rng.t -> model:Fault.model -> protocol -> result
+(** Runs the full exchange-and-decide pipeline.  [mode] defaults to
+    [Strict].  With {!Fault.reliable}, every label arrives on time and the
+    result reduces to the protocol's synchronous verdict (completeness is
+    preserved). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,44 @@
+(** Adapters that turn protocol executions into {!Net.protocol} values.
+
+    Two depths of fidelity:
+
+    - {e Semantic} adapters ({!pls_spanning_tree}, {!st_verify},
+      {!multiset_eq}) re-implement the per-node decision at the bit level:
+      each node serializes its own labels, ships them over the faulty
+      links, and the receiver decodes its neighbors' frames and replays the
+      protocol's local checks on the decoded values.  A flipped bit reaches
+      the verifier (checksum off) and flips the decision exactly when the
+      corrupted field participates in a check — this measures the
+      robustness of the {e proof itself} to corruption.
+
+    - The {e transport} wrapper ({!transport}) runs any synchronous
+      protocol result over a checksummed transport: corrupted frames are
+      detected and discarded (the retransmission chain covers them like
+      drops), so degradation comes entirely from delivery — drops past the
+      retry budget, late frames, crashes, quorum loss.  This wraps every
+      E2–E8 family without re-deriving its verifier. *)
+
+val pls_spanning_tree : graph:Graph.t -> parent:int array -> Net.protocol
+(** The one-round distance-labeling PLS ({!Dipp_baselines.Pls_spanning_tree}):
+    node labels are tree depths; each node checks its parent's decoded
+    depth is its own minus one. *)
+
+val st_verify :
+  ?reps:int -> ?tag_bits:int -> seed:int -> Graph.t -> parent:int array -> Net.protocol
+(** Lemma 2.5 spanning-tree verification: the exchanged label is the
+    round-3 response (per repetition a sum and a tau); receivers replay the
+    subtree-sum, parent-tau and cross-edge-tau checks on decoded frames.
+    Checks that need an unheard child/parent are skipped (degradation);
+    a frame that fails to parse rejects outright. *)
+
+val multiset_eq : seed:int -> Multiset_equality.instance -> Net.protocol
+(** Lemma 2.6 multiset equality over a rooted tree: labels carry
+    [(z, e1, e2)]; receivers replay the aggregation products, the z echo
+    against the parent and the root's equality check on decoded values. *)
+
+val transport :
+  name:string -> graph:Graph.t -> stats:Dip.stats -> verdict:Dip.verdict -> Net.protocol
+(** Checksummed-transport wrapper around any synchronous run: frames carry
+    the per-prover-phase label envelope of [stats], and a node's local
+    check is its verdict in [verdict].  With {!Fault.reliable} this
+    reduces exactly to the synchronous outcome. *)

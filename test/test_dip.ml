@@ -47,6 +47,90 @@ let test_merge_parallel () =
     [ (true, 17); (false, 5); (true, 4) ]
     (List.map (fun (ph, bits) -> (ph = Dip.Prover_phase, bits)) m2.Dip.per_phase)
 
+(* A stats value whose schedule alternates P, V, P, ... — any two such
+   schedules are prefix-compatible, so merges never raise. *)
+let stats_of_sizes sizes =
+  let per_phase =
+    List.mapi
+      (fun i bits -> ((if i mod 2 = 0 then Dip.Prover_phase else Dip.Verifier_phase), bits))
+      sizes
+  in
+  let sum_phase want =
+    List.fold_left (fun acc (ph, b) -> if ph = want then acc + b else acc) 0 per_phase
+  in
+  let prover = sum_phase Dip.Prover_phase and verifier = sum_phase Dip.Verifier_phase in
+  {
+    Dip.interaction_rounds = List.length sizes;
+    proof_size_bits = prover;
+    max_node_total_bits = prover + verifier;
+    total_prover_bits = prover;
+    total_verifier_bits = verifier;
+    phases = List.map fst per_phase;
+    per_phase;
+  }
+
+let test_merge_phase_mismatch () =
+  let p = stats_of_sizes [ 3; 1 ] in
+  (* same length but the first round claims to be a verifier phase *)
+  let v = { p with Dip.per_phase = [ (Dip.Verifier_phase, 2); (Dip.Prover_phase, 1) ] } in
+  let expect_invalid name f =
+    match f () with
+    | (_ : Dip.stats) -> Alcotest.failf "%s: phase-kind mismatch did not raise" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "merge_parallel" (fun () -> Dip.merge_parallel [ p; v ]);
+  expect_invalid "merge_parallel (swapped)" (fun () -> Dip.merge_parallel [ v; p ]);
+  expect_invalid "merge_trials" (fun () -> Dip.merge_trials [ p; v ]);
+  expect_invalid "merge_trials (swapped)" (fun () -> Dip.merge_trials [ v; p ]);
+  (* prefix-compatible inputs of different lengths still merge fine *)
+  let longer = stats_of_sizes [ 5; 2; 7 ] in
+  let m = Dip.merge_parallel [ p; longer ] in
+  Alcotest.(check int) "compatible lengths merge" 3 (List.length m.Dip.per_phase)
+
+let arb_sizes = QCheck.(list_of_size Gen.(int_range 1 5) (int_bound 50))
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"merge_trials/merge_parallel: associative" ~count:200
+    QCheck.(triple arb_sizes arb_sizes arb_sizes)
+    (fun (sa, sb, sc) ->
+      let a = stats_of_sizes sa and b = stats_of_sizes sb and c = stats_of_sizes sc in
+      let flat_t = Dip.merge_trials [ a; b; c ]
+      and flat_p = Dip.merge_parallel [ a; b; c ] in
+      Dip.merge_trials [ Dip.merge_trials [ a; b ]; c ] = flat_t
+      && Dip.merge_trials [ a; Dip.merge_trials [ b; c ] ] = flat_t
+      && Dip.merge_parallel [ Dip.merge_parallel [ a; b ]; c ] = flat_p
+      && Dip.merge_parallel [ a; Dip.merge_parallel [ b; c ] ] = flat_p)
+
+let prop_merge_singleton_identity =
+  QCheck.Test.make ~name:"merge_trials/merge_parallel: identity on singletons" ~count:200
+    arb_sizes
+    (fun sizes ->
+      let s = stats_of_sizes sizes in
+      Dip.merge_trials [ s ] = s && Dip.merge_parallel [ s ] = s)
+
+let prop_merge_envelope =
+  QCheck.Test.make ~name:"merge_trials envelope >= inputs; merge_parallel totals = sums"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 4) arb_sizes)
+    (fun batch ->
+      let sts = List.map stats_of_sizes batch in
+      let mt = Dip.merge_trials sts and mp = Dip.merge_parallel sts in
+      let dominates s =
+        mt.Dip.proof_size_bits >= s.Dip.proof_size_bits
+        && mt.Dip.max_node_total_bits >= s.Dip.max_node_total_bits
+        && mt.Dip.interaction_rounds >= s.Dip.interaction_rounds
+        && List.for_all2
+             (fun (_, m) (_, b) -> m >= b)
+             (List.filteri (fun i _ -> i < List.length s.Dip.per_phase) mt.Dip.per_phase)
+             s.Dip.per_phase
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 sts in
+      List.for_all dominates sts
+      && mt.Dip.total_prover_bits = sum (fun s -> s.Dip.total_prover_bits)
+      && mp.Dip.proof_size_bits = sum (fun s -> s.Dip.proof_size_bits)
+      && mp.Dip.total_prover_bits = sum (fun s -> s.Dip.total_prover_bits)
+      && mp.Dip.total_verifier_bits = sum (fun s -> s.Dip.total_verifier_bits))
+
 let test_all_accept () =
   let v = Dip.all_accept ~n:5 (fun i -> i <> 2 && i <> 4) in
   Alcotest.(check bool) "rejected" false v.Dip.accepted;
@@ -265,6 +349,10 @@ let () =
         [
           Alcotest.test_case "rounds and sizes" `Quick test_meter_rounds_and_sizes;
           Alcotest.test_case "merge parallel" `Quick test_merge_parallel;
+          Alcotest.test_case "merge phase mismatch raises" `Quick test_merge_phase_mismatch;
+          qtest prop_merge_assoc;
+          qtest prop_merge_singleton_identity;
+          qtest prop_merge_envelope;
           Alcotest.test_case "all accept" `Quick test_all_accept;
         ] );
       ( "forest-encoding",

@@ -169,6 +169,24 @@ let test_golden_rejections () =
   Alcotest.(check (list (triple string int int)))
     "fixed-seed rejection counts" golden_table actual
 
+(* ---- DIPP_JOBS validation --------------------------------------------- *)
+
+(* An explicitly-set but invalid DIPP_JOBS (zero, negative, non-numeric)
+   must clamp to sequential execution, not silently fan out to every core.
+   Runs as the last suite: Unix.putenv cannot unset a variable, so the
+   environment is left at DIPP_JOBS=1 (sequential — behavior-neutral). *)
+let test_invalid_jobs_sequential () =
+  List.iter
+    (fun v ->
+      Unix.putenv "DIPP_JOBS" v;
+      Alcotest.(check int) (Printf.sprintf "DIPP_JOBS=%S clamps to 1" v) 1 (Pool.default_jobs ()))
+    [ "0"; "-3"; "banana"; "" ];
+  List.iter
+    (fun (v, expect) ->
+      Unix.putenv "DIPP_JOBS" v;
+      Alcotest.(check int) (Printf.sprintf "DIPP_JOBS=%S honored" v) expect (Pool.default_jobs ()))
+    [ ("3", 3); (" 2 ", 2); ("100", 64); ("1", 1) ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -190,4 +208,6 @@ let () =
           Alcotest.test_case "write_report roundtrip" `Quick test_write_report_roundtrip;
         ] );
       ("golden", [ Alcotest.test_case "E2/E3/E5 rejection counts" `Quick test_golden_rejections ]);
+      ( "env",
+        [ Alcotest.test_case "invalid DIPP_JOBS runs sequentially" `Quick test_invalid_jobs_sequential ] );
     ]

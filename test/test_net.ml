@@ -1,0 +1,209 @@
+(* The fault-injecting network runtime (lib/net) and its sweep layer.
+
+   Contracts under test:
+   - completeness: with a reliable network every honest protocol accepts,
+     in both fidelity tiers (semantic adapters and the checksummed
+     transport wrapper), in both decision modes;
+   - fault semantics: total drop starves Strict but not a quorum-free
+     Degrade; total corruption flips semantic decisions but is absorbed by
+     the checksummed transport; a certain crash kills acceptance; a larger
+     retry budget recovers more frames;
+   - determinism: a run is a pure function of (protocol, config, model,
+     seed), and the sweep report is byte-identical across worker counts. *)
+
+let seed = 1234
+
+let planar_instance n =
+  let g = Gen.planar ~n 7 in
+  let parent =
+    Array.mapi (fun v pv -> if pv = v then -1 else pv) (Traversal.spanning_tree g 0)
+  in
+  (g, parent)
+
+let protocols () =
+  let g, parent = planar_instance 60 in
+  [
+    Net_protocols.pls_spanning_tree ~graph:g ~parent;
+    Net_protocols.st_verify ~reps:3 ~seed:5 g ~parent;
+    (let r = Planarity.run ~seed:3 ~prover:Planarity.Honest { Planarity.graph = g } in
+     Net_protocols.transport ~name:"planarity" ~graph:g ~stats:r.Planarity.stats
+       ~verdict:r.Planarity.verdict);
+  ]
+
+(* ---- completeness on a reliable network ------------------------------- *)
+
+let test_reliable_completeness () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun mode ->
+          let r =
+            Net.execute ~mode ~rng:(Rng.create seed) ~model:Fault.reliable proto
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s accepts on a reliable network" proto.Net.name)
+            true r.Net.accepted;
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: no rejecting nodes" proto.Net.name)
+            [] r.Net.rejecting;
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s: full neighborhoods heard" proto.Net.name)
+            1.0 r.Net.heard;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: nothing dropped" proto.Net.name)
+            0 r.Net.stats.Net.dropped)
+        [ Net.Strict; Net.Degrade { quorum = 0.8 } ])
+    (protocols ())
+
+let test_mseq_adapter_completeness () =
+  let g, parent = planar_instance 40 in
+  let tree_edges = ref [] in
+  Array.iteri (fun v p -> if p >= 0 then tree_edges := (v, p) :: !tree_edges) parent;
+  let tree = Graph.create ~n:(Graph.n g) !tree_edges in
+  let s1 = Array.init (Graph.n g) (fun v -> [ v mod 7; (v * 3) mod 7 ]) in
+  let s2 = Array.map List.rev s1 in
+  let inst = { Multiset_equality.tree; parent; s1; s2; k = 2; universe = 7 } in
+  let proto = Net_protocols.multiset_eq ~seed:9 inst in
+  let r = Net.execute ~rng:(Rng.create seed) ~model:Fault.reliable proto in
+  Alcotest.(check bool) "multiset-eq accepts on a reliable network" true r.Net.accepted
+
+(* ---- fault semantics --------------------------------------------------- *)
+
+let test_total_drop () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let strict =
+    Net.execute ~mode:Net.Strict ~rng:(Rng.create seed) ~model:(Fault.drop ~rate:1.0) proto
+  in
+  Alcotest.(check bool) "strict: total drop rejects" false strict.Net.accepted;
+  Alcotest.(check (float 1e-9)) "nothing heard" 0.0 strict.Net.heard;
+  (* with no quorum requirement, nodes decide from what arrived — here
+     nothing, so every check degrades to vacuous truth *)
+  let degrade =
+    Net.execute
+      ~mode:(Net.Degrade { quorum = 0.0 })
+      ~rng:(Rng.create seed) ~model:(Fault.drop ~rate:1.0) proto
+  in
+  Alcotest.(check bool) "degrade quorum=0: total drop accepts" true degrade.Net.accepted
+
+let test_total_corruption_semantic_vs_checksum () =
+  let g, parent = planar_instance 60 in
+  let model = Fault.corrupt ~rate:1.0 in
+  (* semantic tier: every frame arrives with a flipped bit, the decoded
+     depth disagrees with the parent, the proof fails *)
+  let semantic = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let r = Net.execute ~rng:(Rng.create seed) ~model semantic in
+  Alcotest.(check bool) "semantic: total corruption rejects" false r.Net.accepted;
+  Alcotest.(check bool) "corruption was injected" true (r.Net.stats.Net.corrupted > 0);
+  (* transport tier: the frame check discards every corrupted copy, and
+     with corruption certain no retransmission can get a clean frame
+     through — Strict starves *)
+  let pr = Planarity.run ~seed:3 ~prover:Planarity.Honest { Planarity.graph = g } in
+  let wrapped =
+    Net_protocols.transport ~name:"planarity" ~graph:g ~stats:pr.Planarity.stats
+      ~verdict:pr.Planarity.verdict
+  in
+  let r = Net.execute ~mode:Net.Strict ~rng:(Rng.create seed) ~model wrapped in
+  Alcotest.(check bool) "checksum: certain corruption starves strict" false r.Net.accepted;
+  Alcotest.(check (float 1e-9)) "no corrupted frame was recorded" 0.0 r.Net.heard;
+  (* at a recoverable rate a large enough retry budget pushes a clean copy
+     of every frame through (0.2^8 per-message starvation odds) *)
+  let config = { Net.default_config with Net.retries = 7; Net.deadline = 1000 } in
+  let r =
+    Net.execute ~config ~mode:Net.Strict ~rng:(Rng.create seed)
+      ~model:(Fault.corrupt ~rate:0.2) wrapped
+  in
+  Alcotest.(check bool) "checksum: 20% corruption is absorbed" true r.Net.accepted
+
+let test_certain_crash () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let r = Net.execute ~rng:(Rng.create seed) ~model:(Fault.crash ~rate:1.0) proto in
+  Alcotest.(check bool) "everyone crashes: rejected" false r.Net.accepted;
+  Alcotest.(check int) "all nodes crashed" (Graph.n g) (List.length r.Net.crashed_nodes)
+
+let test_retries_recover_frames () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let heard_with retries =
+    let config = { Net.default_config with Net.retries } in
+    (Net.execute ~config ~rng:(Rng.create seed) ~model:(Fault.drop ~rate:0.3) proto).Net.heard
+  in
+  let none = heard_with 0 and many = heard_with 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "retries recover frames (%.3f -> %.3f)" none many)
+    true (many > none)
+
+(* ---- determinism ------------------------------------------------------- *)
+
+let test_execute_deterministic () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.st_verify ~reps:3 ~seed:5 g ~parent in
+  let run () =
+    let r = Net.execute ~rng:(Rng.create seed) ~model:(Fault.chaos ~rate:0.1) proto in
+    Format.asprintf "%b %a %a" r.Net.accepted
+      (Format.pp_print_list Format.pp_print_int)
+      r.Net.rejecting Net.pp_stats r.Net.stats
+  in
+  Alcotest.(check string) "same seed, same execution" (run ()) (run ())
+
+let sweep_report jobs =
+  let fam = Fault_sweep.pls_family ~n:40 in
+  let points =
+    List.concat_map
+      (fun rate ->
+        [
+          Fault_sweep.run_point ~jobs ~seed fam (Fault.drop ~rate) rate Fault_sweep.Strict 6;
+          Fault_sweep.run_point ~jobs ~seed fam (Fault.crash ~rate) rate Fault_sweep.Degrade 6;
+        ])
+      [ 0.0; 0.2 ]
+  in
+  Fault_sweep.report_string ~seed points
+
+let test_sweep_identical_across_jobs () =
+  let r1 = sweep_report 1 in
+  Alcotest.(check string) "jobs=2 byte-identical to jobs=1" r1 (sweep_report 2);
+  Alcotest.(check string) "jobs=4 byte-identical to jobs=1" r1 (sweep_report 4)
+
+let test_zero_rate_sweep_accepts () =
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun (_, ctor) ->
+          let p =
+            Fault_sweep.run_point ~jobs:2 ~seed fam (ctor 0.0) 0.0 Fault_sweep.Strict 4
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s at rate 0: all honest runs accept" p.Fault_sweep.fam
+               p.Fault_sweep.fault)
+            p.Fault_sweep.trials p.Fault_sweep.accepted)
+        Fault_sweep.model_ctors)
+    [ Fault_sweep.pls_family ~n:40; Fault_sweep.st_family ~n:30 ~reps:2;
+      Fault_sweep.planarity_family ~n:30 ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "completeness",
+        [
+          Alcotest.test_case "reliable network, both tiers, both modes" `Quick
+            test_reliable_completeness;
+          Alcotest.test_case "multiset-eq adapter" `Quick test_mseq_adapter_completeness;
+          Alcotest.test_case "rate-0 sweep points" `Quick test_zero_rate_sweep_accepts;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "total drop: strict starves, degrade survives" `Quick
+            test_total_drop;
+          Alcotest.test_case "corruption: semantic flips, checksum absorbs" `Quick
+            test_total_corruption_semantic_vs_checksum;
+          Alcotest.test_case "certain crash" `Quick test_certain_crash;
+          Alcotest.test_case "retries recover frames" `Quick test_retries_recover_frames;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "execute is seed-pure" `Quick test_execute_deterministic;
+          Alcotest.test_case "sweep report identical for 1/2/4 domains" `Quick
+            test_sweep_identical_across_jobs;
+        ] );
+    ]
