@@ -673,6 +673,7 @@ let bounds () =
    contract). *)
 let trials () =
   header "TRIALS  engine soundness record (E2-E8) -> trials_report.json";
+  Label_cache.reset ();
   let seed = trials_seed () in
   let results = Engine.run_all ~jobs:(jobs ()) ~seed Soundness.specs in
   print_engine_results results;
@@ -684,7 +685,9 @@ let trials () =
     match Sys.getenv_opt "DIPP_TRIALS_OUT" with Some p -> p | None -> "trials_report.json"
   in
   Printf.printf "wrote %s: %d experiments%s\n" out (List.length results)
-    (if timing then " (with timing fields)" else "")
+    (if timing then " (with timing fields)" else "");
+  (* stdout only: the JSON stays byte-identical with the cache on or off *)
+  print_endline (Label_cache.report ())
 
 (* The fault-injection sweep on the network runtime (lib/net): every
    default protocol family executed across the fault-model grid, with the
@@ -692,33 +695,48 @@ let trials () =
    overrides the path, DIPP_FAULTS_TRIALS the per-point trial count). *)
 let faults () =
   header "FAULTS  acceptance under network faults (lib/net) -> faults_report.json";
+  Label_cache.reset ();
   let seed = trials_seed () in
   let sw = Fault_sweep.default_sweep () in
   let points = Fault_sweep.run_sweep ~jobs:(jobs ()) ~seed sw in
   Fault_sweep.print_table points;
   let path = Fault_sweep.write_report ~seed points in
   Printf.printf "wrote %s: %d sweep points (seed=%d jobs=%d trials/point=%d)\n" path
-    (List.length points) seed (jobs ()) sw.Fault_sweep.trials
+    (List.length points) seed (jobs ()) sw.Fault_sweep.trials;
+  (* stdout only: the JSON stays byte-identical with the cache on or off *)
+  print_endline (Label_cache.report ())
 
-let all =
+(* The one command table: execution order, dispatch, and the usage text
+   all come from this list, so a new experiment needs exactly one row. *)
+let commands =
   [
-    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("ablation", ablation); ("open-questions", open_questions); ("timing", timing); ("bounds", bounds);
-    ("trials", trials); ("faults", faults);
+    ("e1", "LR-sorting proof-size scaling (Lemma 4.1)", e1);
+    ("e2", "LR-sorting empirical soundness", e2);
+    ("e3", "path-outerplanarity scaling + soundness (Thm 1.2)", e3);
+    ("e4", "outerplanarity block-cut composition (Thm 1.3)", e4);
+    ("e5", "embedded planarity reduction (Thm 1.4)", e5);
+    ("e6", "planarity proof-size vs Delta (Thm 1.5)", e6);
+    ("e7", "series-parallel (Thm 1.6)", e7);
+    ("e8", "treewidth <= 2 (Thm 1.7)", e8);
+    ("e9", "one-round lower bound thresholds (Thm 1.8)", e9);
+    ("e10", "results table: rounds/bits/completeness/soundness", e10);
+    ("e11", "reduction chart (Figure 2) sub-protocol traces", e11);
+    ("ablation", "design-choice ablations A1-A3", ablation);
+    ("open-questions", "per-round communication breakdown", open_questions);
+    ("timing", "bechamel wall-clock benches", timing);
+    ("bounds", "claim-vs-measured bounds_report.json", bounds);
+    ("trials", "engine soundness trials -> trials_report.json", trials);
+    ("faults", "fault-injection sweep -> faults_report.json", faults);
   ]
 
+let find_command p =
+  let p = String.lowercase_ascii p in
+  List.find_opt (fun (name, _, _) -> String.equal name p) commands
+
 let usage oc =
-  output_string oc
-    "usage: main.exe [--jobs N] [COMMAND ...]\n\
-     commands:\n\
-    \  e1 .. e11        one experiment (see EXPERIMENTS.md)\n\
-    \  ablation         design-choice ablations A1-A3\n\
-    \  open-questions   per-round communication breakdown\n\
-    \  timing           bechamel wall-clock benches\n\
-    \  bounds           claim-vs-measured bounds_report.json\n\
-    \  trials           engine soundness trials -> trials_report.json\n\
-    \  faults           fault-injection sweep -> faults_report.json\n\
-     with no COMMAND, every experiment runs in order.\n"
+  output_string oc "usage: main.exe [--jobs N] [COMMAND ...]\ncommands:\n";
+  List.iter (fun (name, doc, _) -> Printf.fprintf oc "  %-16s %s\n" name doc) commands;
+  output_string oc "with no COMMAND, every experiment runs in order (see EXPERIMENTS.md).\n"
 
 let () =
   (* peel --jobs N (anywhere) off the experiment picks; any other flag is
@@ -749,9 +767,7 @@ let () =
   in
   let picks = parse [] (List.tl (Array.to_list Sys.argv)) in
   (* reject any unknown command before running anything *)
-  let unknown =
-    List.filter (fun p -> not (List.mem_assoc (String.lowercase_ascii p) all)) picks
-  in
+  let unknown = List.filter (fun p -> Option.is_none (find_command p)) picks in
   (match unknown with
   | [] -> ()
   | _ :: _ ->
@@ -759,5 +775,6 @@ let () =
       usage stderr;
       exit 2);
   match picks with
-  | _ :: _ -> List.iter (fun p -> (List.assoc (String.lowercase_ascii p) all) ()) picks
-  | [] -> List.iter (fun (_, f) -> f ()) all
+  | _ :: _ ->
+      List.iter (fun p -> match find_command p with Some (_, _, f) -> f () | None -> ()) picks
+  | [] -> List.iter (fun (_, _, f) -> f ()) commands

@@ -6,7 +6,10 @@
      dipp prove net.txt --property planarity
      dipp certify --family planar --size 100 --cheat
      dipp dot net.txt
-     dipp lower-bound -n 1024 *)
+     dipp lower-bound -n 1024
+     dipp record -e E3 -s 7 -o E3.trace
+     dipp replay E3.trace
+     dipp audit E3.trace other.trace *)
 
 open Dipp
 open Cmdliner
@@ -242,6 +245,80 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc:"Print a DOT rendering of an edge-list file.") Term.(const run $ file_arg)
 
+(* ---- record / replay / audit (transcripts) -------------------------------------- *)
+
+let experiment_arg =
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun id -> (id, id)) Trace_registry.ids))) None
+    & info [ "e"; "experiment" ] ~docv:"EXP"
+        ~doc:"Corpus experiment id: one of E1..E8 (see `dipp record --help').")
+
+let net_arg =
+  Arg.(value & flag & info [ "net" ] ~doc:"Record on the network runtime instead of the synchronous one.")
+
+let record_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to FILE (default EXP.trace / EXP.net.trace).")
+  in
+  let run exp net seed out =
+    match Trace_registry.find exp with
+    | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" exp (String.concat " " Trace_registry.ids);
+        exit 2
+    | Some entry ->
+        let runtime = if net then Trace.Net_runtime else Trace.Dip_runtime in
+        let t = Trace_registry.record ~runtime entry ~seed in
+        let path =
+          match out with
+          | Some p -> p
+          | None -> exp ^ (if net then ".net.trace" else ".trace")
+        in
+        Trace.to_file path t;
+        Printf.printf "%s\n" (Trace.summary t);
+        Printf.printf "wrote %s (digest %s)\n" path (Trace.digest t)
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a canonical proof transcript for a corpus experiment.")
+    Term.(const run $ experiment_arg $ net_arg $ seed_arg $ out_arg)
+
+let trace_file_arg pos_idx docv =
+  Arg.(required & pos pos_idx (some file) None & info [] ~docv ~doc:"Transcript file.")
+
+let replay_cmd =
+  let run file =
+    let t = Trace.of_file file in
+    Printf.printf "%s\n" (Trace.summary t);
+    match Trace_registry.replay t with
+    | Ok r ->
+        Printf.printf "replay OK (%s): verdict %s matches, frames and per-phase bit counts match\n"
+          r.Trace_registry.mode
+          (if r.Trace_registry.verdict.Dip.accepted then "ACCEPT" else "REJECT")
+    | Error msg ->
+        Printf.printf "replay DIVERGED: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a transcript against the registry; exit 1 on any divergence.")
+    Term.(const run $ trace_file_arg 0 "FILE")
+
+let audit_cmd =
+  let run file_a file_b =
+    let a = Trace.of_file file_a in
+    let b = Trace.of_file file_b in
+    Printf.printf "a: %s\n" (Trace.summary a);
+    Printf.printf "b: %s\n" (Trace.summary b);
+    match Trace.diff a b with
+    | None -> Printf.printf "identical: digest %s\n" (Trace.digest a)
+    | Some d ->
+        Printf.printf "divergence: %s\n" d;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Byte-compare two transcripts and report the first divergence.")
+    Term.(const run $ trace_file_arg 0 "FILE_A" $ trace_file_arg 1 "FILE_B")
+
 (* ---- lower-bound --------------------------------------------------------------- *)
 
 let lb_cmd =
@@ -262,4 +339,7 @@ let lb_cmd =
 
 let () =
   let info = Cmd.info "dipp" ~version:"1.0.0" ~doc:"Distributed interactive proofs for planarity (Gil-Parter, PODC 2025)." in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd; record_cmd; replay_cmd; audit_cmd ]))

@@ -11,6 +11,7 @@ module Rng = Dipp_util.Rng
 module Prime = Dipp_util.Prime
 module Fp = Dipp_util.Fp
 module Poly = Dipp_util.Poly
+module Sha256 = Dipp_util.Sha256
 
 (* graph substrate *)
 module Graph = Dipp_graph.Graph
@@ -55,6 +56,11 @@ module Fault = Dipp_net.Fault
 module Net = Dipp_net.Net
 module Net_protocols = Dipp_net.Net_protocols
 module Fault_sweep = Dipp_engine.Fault_sweep
+
+(* transcripts: record/replay + label cache *)
+module Trace = Dipp_trace.Trace
+module Label_cache = Dipp_trace.Label_cache
+module Trace_registry = Dipp_trace.Registry
 
 (* baselines + lower bound *)
 module Pls_lr_sorting = Dipp_baselines.Pls_lr_sorting

@@ -3,6 +3,7 @@ module Gen = Dipp_gen.Gen
 module Net = Dipp_net.Net
 module Fault = Dipp_net.Fault
 module Net_protocols = Dipp_net.Net_protocols
+module Label_cache = Dipp_trace.Label_cache
 
 let seed_bound = 0x3FFF_FFFF
 let draw_seed rng = Rng.int rng seed_bound
@@ -78,10 +79,18 @@ let lr_family ~n =
       (fun rng ->
         let path, arcs = Gen.lr_yes ~n (draw_seed rng) in
         let inst = { Lr_sorting.n; path; arcs } in
-        let r = Lr_sorting.run ~seed:(draw_seed rng) ~prover:Lr_sorting.Honest inst in
+        let seed = draw_seed rng in
+        let verdict, stats =
+          Label_cache.find_or_run
+            ~key:
+              (Label_cache.key ~protocol:"lr_sorting" ~instance:(Label_cache.lr_key inst) ~seed)
+            (fun () ->
+              let r = Lr_sorting.run ~seed ~prover:Lr_sorting.Honest inst in
+              (r.Lr_sorting.verdict, r.Lr_sorting.stats))
+        in
         Net_protocols.transport ~name:"lr-sorting"
           ~graph:(Lr_sorting.underlying_graph inst)
-          ~stats:r.Lr_sorting.stats ~verdict:r.Lr_sorting.verdict);
+          ~stats ~verdict);
   }
 
 let po_family ~n =
@@ -90,12 +99,21 @@ let po_family ~n =
     build =
       (fun rng ->
         let g, w = Gen.path_outerplanar ~n (draw_seed rng) in
-        let r =
-          Path_outerplanarity.run ~seed:(draw_seed rng) ~prover:Path_outerplanarity.Honest
-            { Path_outerplanarity.graph = g; witness = Some w }
+        let seed = draw_seed rng in
+        let instance =
+          Label_cache.graph_key g ^ "|w:" ^ String.concat "," (List.map string_of_int w)
         in
-        Net_protocols.transport ~name:"path-outerplanarity" ~graph:g
-          ~stats:r.Path_outerplanarity.stats ~verdict:r.Path_outerplanarity.verdict);
+        let verdict, stats =
+          Label_cache.find_or_run
+            ~key:(Label_cache.key ~protocol:"path_outerplanarity" ~instance ~seed)
+            (fun () ->
+              let r =
+                Path_outerplanarity.run ~seed ~prover:Path_outerplanarity.Honest
+                  { Path_outerplanarity.graph = g; witness = Some w }
+              in
+              (r.Path_outerplanarity.verdict, r.Path_outerplanarity.stats))
+        in
+        Net_protocols.transport ~name:"path-outerplanarity" ~graph:g ~stats ~verdict);
   }
 
 let planarity_family ~n =
@@ -104,9 +122,15 @@ let planarity_family ~n =
     build =
       (fun rng ->
         let g = Gen.planar ~n (draw_seed rng) in
-        let r = Planarity.run ~seed:(draw_seed rng) ~prover:Planarity.Honest { Planarity.graph = g } in
-        Net_protocols.transport ~name:"planarity" ~graph:g ~stats:r.Planarity.stats
-          ~verdict:r.Planarity.verdict);
+        let seed = draw_seed rng in
+        let verdict, stats =
+          Label_cache.find_or_run
+            ~key:(Label_cache.key ~protocol:"planarity" ~instance:(Label_cache.graph_key g) ~seed)
+            (fun () ->
+              let r = Planarity.run ~seed ~prover:Planarity.Honest { Planarity.graph = g } in
+              (r.Planarity.verdict, r.Planarity.stats))
+        in
+        Net_protocols.transport ~name:"planarity" ~graph:g ~stats ~verdict);
   }
 
 let default_families () =
@@ -166,11 +190,16 @@ let run_point ?jobs ~seed fam model rate mode trials =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let id = Printf.sprintf "%s|%s|%.4f|%s" fam.fam_id model.Fault.name rate (mode_name mode) in
   let root = Rng.split_string (Rng.create seed) id in
+  (* Instances come from a family-keyed stream shared by every grid point,
+     so trial i sees the same instance under every (fault, rate, mode) —
+     which is what lets the label cache serve the repeated honest runs.
+     Fault draws stay on the point-keyed stream. *)
+  let inst_root = Rng.split_string (Rng.create seed) ("inst|" ^ fam.fam_id) in
   let nmode = match mode with Strict -> Net.Strict | Degrade -> Net.Degrade { quorum } in
   let runs =
     Pool.run ~jobs trials (fun i ->
+        let proto = fam.build (Rng.split inst_root i) in
         let trng = Rng.split root i in
-        let proto = fam.build trng in
         Net.execute ~mode:nmode ~rng:trng ~model proto)
   in
   (* fold in index order: the point must not depend on completion order *)

@@ -1,6 +1,11 @@
+(* Every rejection of malformed input carries the 1-based line number; the
+   range check against a pinned [n] runs after the whole text is scanned, so
+   it too can name the offending line instead of letting [Graph.create]'s
+   positionless exception escape. *)
 let parse_edge_list text =
   let lines = String.split_on_char '\n' text in
   let edges = ref [] in
+  (* (lineno, u, v), reversed *)
   let pinned_n = ref None in
   let max_id = ref (-1) in
   List.iteri
@@ -8,22 +13,37 @@ let parse_edge_list text =
       let lineno = idx + 1 in
       let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
       let parts = List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)) in
+      let node_id tok =
+        match int_of_string_opt tok with
+        | Some v when v >= 0 -> v
+        | Some v -> invalid_arg (Printf.sprintf "Graph_io: line %d: negative node id %d" lineno v)
+        | None -> invalid_arg (Printf.sprintf "Graph_io: line %d: expected a node id, got %S" lineno tok)
+      in
       match parts with
       | [] -> ()
       | [ "n"; count ] -> (
           match int_of_string_opt count with
           | Some c when c >= 0 -> pinned_n := Some c
-          | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: bad node count" lineno))
-      | [ a; b ] -> (
-          match (int_of_string_opt a, int_of_string_opt b) with
-          | Some u, Some v when u >= 0 && v >= 0 ->
-              max_id := max !max_id (max u v);
-              edges := (u, v) :: !edges
-          | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: expected two node ids" lineno))
-      | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: expected 'u v'" lineno))
+          | _ -> invalid_arg (Printf.sprintf "Graph_io: line %d: bad node count %S" lineno count))
+      | [ a; b ] ->
+          let u = node_id a and v = node_id b in
+          if u = v then invalid_arg (Printf.sprintf "Graph_io: line %d: self-loop %d %d" lineno u v);
+          max_id := max !max_id (max u v);
+          edges := (lineno, u, v) :: !edges
+      | parts ->
+          invalid_arg
+            (Printf.sprintf "Graph_io: line %d: expected 'u v', got %d fields" lineno
+               (List.length parts)))
     lines;
   let n = match !pinned_n with Some c -> c | None -> !max_id + 1 in
-  Graph.create ~n (List.rev !edges)
+  let edges = List.rev !edges in
+  List.iter
+    (fun (lineno, u, v) ->
+      if u >= n || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph_io: line %d: node id %d out of range (n = %d)" lineno (max u v) n))
+    edges;
+  Graph.create ~n (List.map (fun (_, u, v) -> (u, v)) edges)
 
 let to_edge_list g =
   let buf = Buffer.create 256 in
@@ -36,7 +56,8 @@ let read_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_edge_list text
+  try parse_edge_list text
+  with Invalid_argument msg -> invalid_arg (Printf.sprintf "%s: %s" path msg)
 
 let write_file path g =
   let oc = open_out path in

@@ -257,3 +257,13 @@ let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "sent=%d delivered=%d dropped=%d corrupted=%d duplicated=%d late=%d retransmits=%d acks=%d"
     s.sent s.delivered s.dropped s.corrupted s.duplicated s.late s.retransmits s.acks
+
+(* Decision-only replay: skip the event queue entirely and hand every
+   node's check the recorded per-round payloads, as if a fault-free
+   network had delivered them.  [frames.(r).(u)] is node u's round-r
+   label; with frames = the protocol's own [rounds], this reduces to the
+   reliable-network verdict. *)
+let replay_check proto ~frames =
+  let n = Graph.n proto.graph in
+  Dip.all_accept ~n (fun v ->
+      proto.node_check v (fun u -> Some (Array.map (fun round -> round.(u)) frames)))

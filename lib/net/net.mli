@@ -84,3 +84,11 @@ val execute :
     preserved). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val replay_check : protocol -> frames:Bits.t array array -> Dip.verdict
+(** Decision-only replay against recorded round payloads: every node's
+    {!protocol.node_check} runs with [recv u = Some] of u's per-round
+    labels from [frames] ([frames.(r).(u)] = node u's round-r label) —
+    no event queue, no coins, no prover work.  With [frames] equal to
+    the protocol's own [rounds], this is the fault-free verdict; the
+    transcript subsystem uses it to replay network traces. *)

@@ -290,6 +290,162 @@ let prefix_upto (pa : Params.t) f x r i =
   done;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* The per-node decision function.                                     *)
+(*                                                                     *)
+(* Everything a node reads is its own and its path-neighbors' labels   *)
+(* and coins — all present in the five recorded frames — so this is    *)
+(* shared verbatim between the live run and transcript replay.         *)
+(* ------------------------------------------------------------------ *)
+
+let node_checks (pa : Params.t) inst ~(r1 : r1_node array) ~(r3 : r3_node array)
+    ~(r5 : r5_node array) ~(coins2 : coins2 array) ~(coins4 : coins4 array) ~arc_r1 ~arc_r3 =
+  let n = inst.n in
+  let pos = positions inst in
+  let bsize = pa.Params.block in
+  let p = pa.Params.p and p2 = pa.Params.p2 in
+  let enc (i, j) = ((i - 1) * p.Fp.p) + j in
+  let dedupe pairs = List.sort_uniq compare_pair pairs in
+  let arcs_into = Array.make n [] and arcs_from = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      arcs_into.(v) <- (u, v) :: arcs_into.(v);
+      arcs_from.(u) <- (u, v) :: arcs_from.(u))
+    inst.arcs;
+  let left_nbr v = if pos.(v) = 0 then None else Some inst.path.(pos.(v) - 1) in
+  let right_nbr v = if pos.(v) = n - 1 then None else Some inst.path.(pos.(v) + 1) in
+  let same_block_left v =
+    match left_nbr v with Some u when r1.(v).j = r1.(u).j + 1 -> Some u | _ -> None
+  in
+  let verify v =
+    let own1 = r1.(v) and own3 = r3.(v) and own5 = r5.(v) in
+    let ok = ref true in
+    let fail () = ok := false in
+    (* S: index structure *)
+    (match left_nbr v with
+    | None -> if own1.j <> 1 then fail ()
+    | Some u ->
+        let ju = r1.(u).j in
+        if not (own1.j = ju + 1 || (own1.j = 1 && ju >= bsize)) then fail ());
+    if own1.j < 1 || own1.j > (2 * bsize) - 1 then fail ();
+    (* C: consecutive-number flags and bits (bit-carrying nodes only) *)
+    if own1.j <= bsize then begin
+      (match own1.flag with
+      | Right_of -> if not (own1.bit1 && not own1.bit2) then fail ()
+      | At_vb -> if own1.bit1 || not own1.bit2 then fail ()
+      | Left_of -> if own1.bit1 <> own1.bit2 then fail ());
+      (* neighbour flag pattern, within the bit-carrying prefix of the block *)
+      let right_in_bits =
+        match right_nbr v with
+        | Some u when r1.(u).j = own1.j + 1 && r1.(u).j <= bsize -> Some u
+        | _ -> None
+      in
+      let left_in_block = same_block_left v in
+      (match own1.flag with
+      | Right_of -> (
+          match right_in_bits with Some u -> if r1.(u).flag <> Right_of then fail () | None -> ())
+      | At_vb ->
+          (match right_in_bits with Some u -> if r1.(u).flag <> Right_of then fail () | None -> ());
+          (match left_in_block with Some u -> if r1.(u).flag <> Left_of then fail () | None -> ())
+      | Left_of -> (
+          match left_in_block with Some u -> if r1.(u).flag <> Left_of then fail () | None -> ()));
+      if own1.j = 1 && own1.flag = Right_of then fail ()
+    end;
+    (* E1: global broadcasts *)
+    (match left_nbr v with
+    | None ->
+        (match coins2.(v).r with Some r0 -> if own3.r_e <> r0 then fail () | None -> fail ());
+        (match coins2.(v).rp with Some rp0 -> if own3.rp_e <> rp0 then fail () | None -> fail ())
+    | Some u ->
+        if own3.r_e <> r3.(u).r_e then fail ();
+        if own3.rp_e <> r3.(u).rp_e then fail ());
+    (* E2: block tag broadcast *)
+    (if own1.j = 1 then
+       match coins2.(v).rb with Some s -> if own3.rb_e <> s then fail () | None -> fail ()
+     else
+       match same_block_left v with
+       | Some u -> if own3.rb_e <> r3.(u).rb_e then fail ()
+       | None -> fail ());
+    (* E3/E6: prefix chains *)
+    let factor field x_bit elem rr = if x_bit && elem <= bsize then Fp.sub field elem rr else 1 in
+    let base3 =
+      match same_block_left v with
+      | Some u -> (r3.(u).pre1, r3.(u).pre2, r3.(u).prep)
+      | None -> (1, 1, 1)
+    in
+    let b1, b2, bp = base3 in
+    if own3.pre1 <> Fp.mul p b1 (factor p own1.bit1 own1.j own3.r_e) then fail ();
+    if own3.pre2 <> Fp.mul p b2 (factor p own1.bit2 own1.j own3.r_e) then fail ();
+    if own3.prep <> Fp.mul p bp (factor p own1.bit1 own1.j own3.rp_e) then fail ();
+    (* E4: total claims chain + endpoint pinning *)
+    (match same_block_left v with
+    | Some u -> if own3.f1 <> r3.(u).f1 || own3.f2 <> r3.(u).f2 then fail ()
+    | None -> ());
+    let rightmost_of_block =
+      match right_nbr v with None -> true | Some u -> r1.(u).j = 1
+    in
+    if rightmost_of_block then begin
+      if own3.f1 <> own3.pre1 then fail ();
+      if own3.f2 <> own3.pre2 then fail ()
+    end;
+    (* E5: adjacent blocks hold consecutive positions *)
+    (match right_nbr v with
+    | Some u when r1.(u).j = 1 -> if own3.f2 <> r3.(u).f1 then fail ()
+    | _ -> ());
+    (* E7/E8: arc checks *)
+    let my_in = arcs_into.(v) and my_out = arcs_from.(v) in
+    let pair_of a = match Arc_map.find a arc_r1 with Inner -> None | Outer { i } -> Some (i, (Arc_map.find a arc_r3).jval) in
+    (* inner arcs *)
+    List.iter
+      (fun (u, w) ->
+        if Arc_map.find (u, w) arc_r1 = Inner then begin
+          if r1.(u).j >= r1.(w).j then fail ();
+          if r3.(u).rb_e <> r3.(w).rb_e then fail ()
+        end)
+      (my_in @ my_out);
+    (* outer arcs: bounds and per-node pair consistency *)
+    let in_pairs = List.filter_map pair_of my_in and out_pairs = List.filter_map pair_of my_out in
+    List.iter (fun (i, _) -> if i < 1 || i > bsize then fail ()) (in_pairs @ out_pairs);
+    let indexes ps = List.sort_uniq Int.compare (List.map fst ps) in
+    let conflict ps =
+      List.exists (fun i -> List.length (List.sort_uniq compare_pair (List.filter (fun (i', _) -> i' = i) ps)) > 1) (indexes ps)
+    in
+    if conflict in_pairs || conflict out_pairs then fail ();
+    if List.exists (fun i -> List.mem i (indexes out_pairs)) (indexes in_pairs) then fail ();
+    (* M1: z echo *)
+    (if own1.j = 1 then
+       match coins4.(v).z with Some z -> if own5.z_e <> z then fail () | None -> fail ()
+     else
+       match same_block_left v with
+       | Some u -> if own5.z_e <> r5.(u).z_e then fail ()
+       | None -> fail ());
+    (* M2: the four verification-scheme prefix chains *)
+    let base5 =
+      match same_block_left v with
+      | Some u -> (r5.(u).ph1, r5.(u).ph2, r5.(u).pt1, r5.(u).pt2)
+      | None -> (1, 1, 1, 1)
+    in
+    let h1, h2, t1, t2 = base5 in
+    let mult acc elems = List.fold_left (fun a e -> Fp.mul p2 a (Fp.sub p2 e own5.z_e)) acc elems in
+    let phi_left_check =
+      (* read from the left neighbour's label (or 1 at the leader) *)
+      match same_block_left v with Some u -> r3.(u).prep | None -> 1
+    in
+    let s2h = if own1.j <= bsize && own1.bit1 then List.init own1.m_head (fun _ -> enc (own1.j, phi_left_check)) else [] in
+    let s2t = if own1.j <= bsize && not own1.bit1 then List.init own1.m_tail (fun _ -> enc (own1.j, phi_left_check)) else [] in
+    if own5.ph1 <> mult h1 (List.map enc (dedupe (List.filter_map pair_of my_in))) then fail ();
+    if own5.ph2 <> mult h2 s2h then fail ();
+    if own5.pt1 <> mult t1 (List.map enc (dedupe (List.filter_map pair_of my_out))) then fail ();
+    if own5.pt2 <> mult t2 s2t then fail ();
+    (* M3: block totals agree *)
+    if rightmost_of_block then begin
+      if own5.ph1 <> own5.ph2 then fail ();
+      if own5.pt1 <> own5.pt2 then fail ()
+    end;
+    !ok
+  in
+  verify
+
 let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
   validate_instance inst;
   let n = inst.n in
@@ -504,143 +660,138 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
   Dip.record_prover meter (Array.map (r5_node_bits pa) r5);
 
   (* ---- Verification: purely local checks at each node ---- *)
-  let arcs_into = Array.make n [] and arcs_from = Array.make n [] in
-  List.iter
-    (fun (u, v) ->
-      arcs_into.(v) <- (u, v) :: arcs_into.(v);
-      arcs_from.(u) <- (u, v) :: arcs_from.(u))
-    inst.arcs;
-  let left_nbr v = if pos.(v) = 0 then None else Some inst.path.(pos.(v) - 1) in
-  let right_nbr v = if pos.(v) = n - 1 then None else Some inst.path.(pos.(v) + 1) in
-  let same_block_left v =
-    match left_nbr v with Some u when r1.(v).j = r1.(u).j + 1 -> Some u | _ -> None
-  in
-  let verify v =
-    let own1 = r1.(v) and own3 = r3.(v) and own5 = r5.(v) in
-    let ok = ref true in
-    let fail () = ok := false in
-    (* S: index structure *)
-    (match left_nbr v with
-    | None -> if own1.j <> 1 then fail ()
-    | Some u ->
-        let ju = r1.(u).j in
-        if not (own1.j = ju + 1 || (own1.j = 1 && ju >= bsize)) then fail ());
-    if own1.j < 1 || own1.j > (2 * bsize) - 1 then fail ();
-    (* C: consecutive-number flags and bits (bit-carrying nodes only) *)
-    if own1.j <= bsize then begin
-      (match own1.flag with
-      | Right_of -> if not (own1.bit1 && not own1.bit2) then fail ()
-      | At_vb -> if own1.bit1 || not own1.bit2 then fail ()
-      | Left_of -> if own1.bit1 <> own1.bit2 then fail ());
-      (* neighbour flag pattern, within the bit-carrying prefix of the block *)
-      let right_in_bits =
-        match right_nbr v with
-        | Some u when r1.(u).j = own1.j + 1 && r1.(u).j <= bsize -> Some u
-        | _ -> None
-      in
-      let left_in_block = same_block_left v in
-      (match own1.flag with
-      | Right_of -> (
-          match right_in_bits with Some u -> if r1.(u).flag <> Right_of then fail () | None -> ())
-      | At_vb ->
-          (match right_in_bits with Some u -> if r1.(u).flag <> Right_of then fail () | None -> ());
-          (match left_in_block with Some u -> if r1.(u).flag <> Left_of then fail () | None -> ())
-      | Left_of -> (
-          match left_in_block with Some u -> if r1.(u).flag <> Left_of then fail () | None -> ()));
-      if own1.j = 1 && own1.flag = Right_of then fail ()
-    end;
-    (* E1: global broadcasts *)
-    (match left_nbr v with
-    | None ->
-        (match coins2.(v).r with Some r0 -> if own3.r_e <> r0 then fail () | None -> fail ());
-        (match coins2.(v).rp with Some rp0 -> if own3.rp_e <> rp0 then fail () | None -> fail ())
-    | Some u ->
-        if own3.r_e <> r3.(u).r_e then fail ();
-        if own3.rp_e <> r3.(u).rp_e then fail ());
-    (* E2: block tag broadcast *)
-    (if own1.j = 1 then
-       match coins2.(v).rb with Some s -> if own3.rb_e <> s then fail () | None -> fail ()
-     else
-       match same_block_left v with
-       | Some u -> if own3.rb_e <> r3.(u).rb_e then fail ()
-       | None -> fail ());
-    (* E3/E6: prefix chains *)
-    let factor field x_bit elem rr = if x_bit && elem <= bsize then Fp.sub field elem rr else 1 in
-    let base3 =
-      match same_block_left v with
-      | Some u -> (r3.(u).pre1, r3.(u).pre2, r3.(u).prep)
-      | None -> (1, 1, 1)
-    in
-    let b1, b2, bp = base3 in
-    if own3.pre1 <> Fp.mul p b1 (factor p own1.bit1 own1.j own3.r_e) then fail ();
-    if own3.pre2 <> Fp.mul p b2 (factor p own1.bit2 own1.j own3.r_e) then fail ();
-    if own3.prep <> Fp.mul p bp (factor p own1.bit1 own1.j own3.rp_e) then fail ();
-    (* E4: total claims chain + endpoint pinning *)
-    (match same_block_left v with
-    | Some u -> if own3.f1 <> r3.(u).f1 || own3.f2 <> r3.(u).f2 then fail ()
-    | None -> ());
-    let rightmost_of_block =
-      match right_nbr v with None -> true | Some u -> r1.(u).j = 1
-    in
-    if rightmost_of_block then begin
-      if own3.f1 <> own3.pre1 then fail ();
-      if own3.f2 <> own3.pre2 then fail ()
-    end;
-    (* E5: adjacent blocks hold consecutive positions *)
-    (match right_nbr v with
-    | Some u when r1.(u).j = 1 -> if own3.f2 <> r3.(u).f1 then fail ()
-    | _ -> ());
-    (* E7/E8: arc checks *)
-    let my_in = arcs_into.(v) and my_out = arcs_from.(v) in
-    let pair_of a = match Arc_map.find a arc_r1 with Inner -> None | Outer { i } -> Some (i, (Arc_map.find a arc_r3).jval) in
-    (* inner arcs *)
-    List.iter
-      (fun (u, w) ->
-        if Arc_map.find (u, w) arc_r1 = Inner then begin
-          if r1.(u).j >= r1.(w).j then fail ();
-          if r3.(u).rb_e <> r3.(w).rb_e then fail ()
-        end)
-      (my_in @ my_out);
-    (* outer arcs: bounds and per-node pair consistency *)
-    let in_pairs = List.filter_map pair_of my_in and out_pairs = List.filter_map pair_of my_out in
-    List.iter (fun (i, _) -> if i < 1 || i > bsize then fail ()) (in_pairs @ out_pairs);
-    let indexes ps = List.sort_uniq Int.compare (List.map fst ps) in
-    let conflict ps =
-      List.exists (fun i -> List.length (List.sort_uniq compare_pair (List.filter (fun (i', _) -> i' = i) ps)) > 1) (indexes ps)
-    in
-    if conflict in_pairs || conflict out_pairs then fail ();
-    if List.exists (fun i -> List.mem i (indexes out_pairs)) (indexes in_pairs) then fail ();
-    (* M1: z echo *)
-    (if own1.j = 1 then
-       match coins4.(v).z with Some z -> if own5.z_e <> z then fail () | None -> fail ()
-     else
-       match same_block_left v with
-       | Some u -> if own5.z_e <> r5.(u).z_e then fail ()
-       | None -> fail ());
-    (* M2: the four verification-scheme prefix chains *)
-    let base5 =
-      match same_block_left v with
-      | Some u -> (r5.(u).ph1, r5.(u).ph2, r5.(u).pt1, r5.(u).pt2)
-      | None -> (1, 1, 1, 1)
-    in
-    let h1, h2, t1, t2 = base5 in
-    let mult acc elems = List.fold_left (fun a e -> Fp.mul p2 a (Fp.sub p2 e own5.z_e)) acc elems in
-    let phi_left_check =
-      (* read from the left neighbour's label (or 1 at the leader) *)
-      match same_block_left v with Some u -> r3.(u).prep | None -> 1
-    in
-    let s2h = if own1.j <= bsize && own1.bit1 then List.init own1.m_head (fun _ -> enc (own1.j, phi_left_check)) else [] in
-    let s2t = if own1.j <= bsize && not own1.bit1 then List.init own1.m_tail (fun _ -> enc (own1.j, phi_left_check)) else [] in
-    if own5.ph1 <> mult h1 (List.map enc (dedupe (List.filter_map pair_of my_in))) then fail ();
-    if own5.ph2 <> mult h2 s2h then fail ();
-    if own5.pt1 <> mult t1 (List.map enc (dedupe (List.filter_map pair_of my_out))) then fail ();
-    if own5.pt2 <> mult t2 s2t then fail ();
-    (* M3: block totals agree *)
-    if rightmost_of_block then begin
-      if own5.ph1 <> own5.ph2 then fail ();
-      if own5.pt1 <> own5.pt2 then fail ()
-    end;
-    !ok
-  in
+  let verify = node_checks pa inst ~r1 ~r3 ~r5 ~coins2 ~coins4 ~arc_r1 ~arc_r3 in
   let verdict = Dip.all_accept ~n verify in
   { verdict; stats = Dip.stats meter; params = pa; transcript = Dip.transcript meter }
+
+(* ------------------------------------------------------------------ *)
+(* Decision-only transcript replay.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Decoders are strict inverses of the serializers above: every element
+   must parse completely (no trailing bits), so any tampering that changes
+   a label's length — and most that change its content — is caught either
+   here or by the re-run decision functions. *)
+
+let fail_decode what = invalid_arg ("Lr_sorting.replay: malformed " ^ what)
+
+let reader_all what b f =
+  let r = Bits.Reader.of_bits b in
+  let v = f r in
+  if Bits.Reader.remaining r <> 0 then fail_decode what;
+  v
+
+let decode_r1_node (pa : Params.t) b =
+  let wi = bits_for (2 * pa.Params.block) and wm = bits_for ((2 * pa.Params.block) + 1) in
+  reader_all "r1 node label" b (fun r ->
+      let j = Bits.Reader.int r ~width:wi in
+      let bit1 = Bits.Reader.bool r in
+      let bit2 = Bits.Reader.bool r in
+      let flag =
+        match Bits.Reader.int r ~width:2 with
+        | 0 -> Left_of
+        | 1 -> At_vb
+        | 2 -> Right_of
+        | _ -> fail_decode "r1 flag"
+      in
+      let m_head = Bits.Reader.int r ~width:wm in
+      let m_tail = Bits.Reader.int r ~width:wm in
+      { j; bit1; bit2; flag; m_head; m_tail })
+
+let decode_r1_arc (pa : Params.t) b =
+  let wi = bits_for (pa.Params.block + 1) in
+  reader_all "r1 arc label" b (fun r ->
+      let outer = Bits.Reader.bool r in
+      let i = Bits.Reader.int r ~width:wi in
+      if outer then Outer { i }
+      else if i <> 0 then fail_decode "r1 arc padding"
+      else Inner)
+
+let decode_r3_node (pa : Params.t) b =
+  let wp = Fp.bit_width pa.Params.p in
+  reader_all "r3 node label" b (fun r ->
+      let f () = Bits.Reader.int r ~width:wp in
+      let r_e = f () in
+      let rp_e = f () in
+      let rb_e = f () in
+      let pre1 = f () in
+      let pre2 = f () in
+      let f1 = f () in
+      let f2 = f () in
+      let prep = f () in
+      { r_e; rp_e; rb_e; pre1; pre2; f1; f2; prep })
+
+let decode_r3_arc (pa : Params.t) b =
+  let wp = Fp.bit_width pa.Params.p in
+  reader_all "r3 arc label" b (fun r -> { jval = Bits.Reader.int r ~width:wp })
+
+let decode_r5_node (pa : Params.t) b =
+  let wq = Fp.bit_width pa.Params.p2 in
+  reader_all "r5 node label" b (fun r ->
+      let f () = Bits.Reader.int r ~width:wq in
+      let z_e = f () in
+      let ph1 = f () in
+      let ph2 = f () in
+      let pt1 = f () in
+      let pt2 = f () in
+      { z_e; ph1; ph2; pt1; pt2 })
+
+let decode_coins2 (pa : Params.t) ~leftmost ~leader b =
+  let wp = Fp.bit_width pa.Params.p in
+  reader_all "round-2 coins" b (fun r ->
+      let take () = Some (Bits.Reader.int r ~width:wp) in
+      let rr = if leftmost then take () else None in
+      let rp = if leftmost then take () else None in
+      let rb = if leader then take () else None in
+      { r = rr; rp; rb })
+
+let decode_coins4 (pa : Params.t) ~leader b =
+  let wq = Fp.bit_width pa.Params.p2 in
+  reader_all "round-4 coins" b (fun r ->
+      { z = (if leader then Some (Bits.Reader.int r ~width:wq) else None) })
+
+let replay ?(c = 3) ?block inst frames =
+  validate_instance inst;
+  let n = inst.n in
+  let pa = Params.make ~c ?block n in
+  let pos = positions inst in
+  let nar = List.length inst.arcs in
+  match frames with
+  | [
+   (Dip.Prover_phase, f1);
+   (Dip.Verifier_phase, f2);
+   (Dip.Prover_phase, f3);
+   (Dip.Verifier_phase, f4);
+   (Dip.Prover_phase, f5);
+  ] -> (
+      try
+        if
+          Array.length f1 <> n + nar
+          || Array.length f3 <> n + nar
+          || Array.length f2 <> n
+          || Array.length f4 <> n
+          || Array.length f5 <> n
+        then fail_decode "frame arity";
+        let r1 = Array.init n (fun v -> decode_r1_node pa f1.(v)) in
+        let r3 = Array.init n (fun v -> decode_r3_node pa f3.(v)) in
+        let r5 = Array.init n (fun v -> decode_r5_node pa f5.(v)) in
+        let coins2 =
+          Array.init n (fun v ->
+              decode_coins2 pa ~leftmost:(pos.(v) = 0) ~leader:(r1.(v).j = 1) f2.(v))
+        in
+        let coins4 = Array.init n (fun v -> decode_coins4 pa ~leader:(r1.(v).j = 1) f4.(v)) in
+        let _, arc_r1, arc_r3 =
+          List.fold_left
+            (fun (k, m1, m3) a ->
+              ( k + 1,
+                Arc_map.add a (decode_r1_arc pa f1.(n + k)) m1,
+                Arc_map.add a (decode_r3_arc pa f3.(n + k)) m3 ))
+            (0, Arc_map.empty, Arc_map.empty)
+            inst.arcs
+        in
+        let verify = node_checks pa inst ~r1 ~r3 ~r5 ~coins2 ~coins4 ~arc_r1 ~arc_r3 in
+        Ok (Dip.all_accept ~n verify)
+      with
+      | Invalid_argument msg -> Error msg
+      | Bits.Reader.Underflow -> Error "Lr_sorting.replay: label underflow")
+  | _ -> Error "Lr_sorting.replay: expected a 5-round P-V-P-V-P transcript"

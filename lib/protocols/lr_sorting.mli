@@ -70,3 +70,13 @@ val run : ?seed:int -> ?c:int -> ?block:int -> ?retain:bool -> prover:prover -> 
 (** Executes the 5-round protocol.  [Honest] on a yes-instance always
     accepts (perfect completeness); on a no-instance every prover strategy
     is rejected with probability 1 - 1/polylog n. *)
+
+val replay :
+  ?c:int -> ?block:int -> instance -> (Dip.phase * Bits.t array) list -> (Dip.verdict, string) Stdlib.result
+(** Decision-only replay: decodes the five recorded frames (node labels,
+    arc labels, coins) with strict inverses of the label serializers and
+    re-runs {e only} the per-node decision function — no prover work, no
+    coin sampling.  On a transcript recorded by [run ~retain:true] with the
+    same [c]/[block], the verdict equals the live run's verdict bit for
+    bit.  [Error] reports a structurally malformed transcript (wrong frame
+    arity or schedule, a label that does not parse). *)

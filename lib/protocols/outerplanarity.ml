@@ -6,6 +6,7 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   component_results : Path_outerplanarity.result list;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -36,10 +37,10 @@ let biconnected_witness ?start_ g =
     | Some cyc -> Some (cycle_to_path_from cyc ~start_)
     | None -> None
 
-let run_biconnected ?(seed = 0) ?(c = 3) ?param_n ~prover g =
+let run_biconnected ?(seed = 0) ?(c = 3) ?param_n ?retain ~prover g =
   let witness = biconnected_witness g in
   let result =
-    Path_outerplanarity.run ~seed ~c ?param_n ~prover { Path_outerplanarity.graph = g; witness }
+    Path_outerplanarity.run ~seed ~c ?param_n ?retain ~prover { Path_outerplanarity.graph = g; witness }
   in
   (* Theorem 6.1's extra condition: the committed path's endpoints are
      adjacent (P closes into the Hamiltonian cycle).  The closing edge is
@@ -64,11 +65,11 @@ let run_biconnected ?(seed = 0) ?(c = 3) ?param_n ~prover g =
 (* Theorem 1.3: general outerplanarity via the block-cut tree.         *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 0) ?(c = 3) ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 || not (Traversal.is_connected g) then invalid_arg "Outerplanarity.run: need a connected graph";
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   let rng = Rng.create (seed + 101) in
   let pa = Lr_sorting.Params.make ~c n in
   let nb = Fp.bit_width pa.Lr_sorting.Params.p in
@@ -283,4 +284,4 @@ let run ?(seed = 0) ?(c = 3) ~prover inst =
         })
       (Dip.stats meter) comp_stats
   in
-  { verdict; stats = max_comp; component_results }
+  { verdict; stats = max_comp; component_results; transcript = Dip.transcript meter }

@@ -25,12 +25,16 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   component_results : Path_outerplanarity.result list;
+  transcript : (Dip.phase * Bits.t array) list;
+      (** the top-level meter's retained frames; non-empty iff [retain] —
+          component sub-runs meter separately and are not retained *)
 }
 
 val run_biconnected :
   ?seed:int ->
   ?c:int ->
   ?param_n:int ->
+  ?retain:bool ->
   prover:Path_outerplanarity.prover ->
   Graph.t ->
   Path_outerplanarity.result
@@ -39,5 +43,5 @@ val run_biconnected :
     the committed path always has adjacent endpoints, and the verifier
     checks the closing edge exists). *)
 
-val run : ?seed:int -> ?c:int -> prover:prover -> instance -> result
+val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result
 (** Theorem 1.3 on connected graphs. *)

@@ -6,6 +6,7 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   lr : Lr_sorting.result option;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -77,12 +78,12 @@ let path_parents ~n path =
   List.iteri (fun i v -> if i > 0 then parent.(v) <- List.nth path (i - 1)) path;
   parent
 
-let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 then invalid_arg "Path_outerplanarity.run: empty graph";
   let rng = Rng.create (seed * 31 + 17) in
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   let sizing_n = max n (Option.value ~default:n param_n) in
   let pa = Lr_sorting.Params.make ~c sizing_n in
   let nb = Fp.bit_width pa.Lr_sorting.Params.p in
@@ -435,4 +436,4 @@ let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
     | Some r -> Dip.merge_parallel [ Dip.stats meter; r.Lr_sorting.stats ]
     | None -> Dip.stats meter
   in
-  { verdict; stats; lr = lr_result }
+  { verdict; stats; lr = lr_result; transcript = Dip.transcript meter }

@@ -40,9 +40,12 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   lr : Lr_sorting.result option;  (** None when the committed P decodes to garbage *)
+  transcript : (Dip.phase * Bits.t array) list;
+      (** the top-level meter's retained frames; non-empty iff [retain] —
+          component sub-runs meter separately and are not retained *)
 }
 
-val run : ?seed:int -> ?c:int -> ?param_n:int -> prover:prover -> instance -> result
+val run : ?seed:int -> ?c:int -> ?param_n:int -> ?retain:bool -> prover:prover -> instance -> result
 (** [param_n] sizes the random fields and name strings (defaults to the
     instance size); per-component callers pass the global node count so the
     soundness error is 1/polylog of the whole graph, as in the paper. *)

@@ -95,14 +95,15 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   inner : Path_outerplanarity.result;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
-let run ?(seed = 0) ?(c = 3) ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 || not (Traversal.is_connected g) then
     invalid_arg "Planar_embedding.run: need a connected graph";
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   let rng = Rng.create (seed + 77) in
   let pa = Lr_sorting.Params.make ~c (max 2 ((2 * n) - 1)) in
   let nb = Fp.bit_width pa.Lr_sorting.Params.p in
@@ -167,4 +168,5 @@ let run ?(seed = 0) ?(c = 3) ~prover inst =
       };
     stats;
     inner;
+    transcript = Dip.transcript meter;
   }

@@ -6,17 +6,18 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   inner : Planar_embedding.result;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
 let bits_for x =
   let rec go w = if 1 lsl w > x then w else go (w + 1) in
   max 1 (go 1)
 
-let run ?(seed = 0) ?(c = 3) ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 || not (Traversal.is_connected g) then invalid_arg "Planarity.run: need a connected graph";
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   (* The claimed rotation system. *)
   let rot =
     match (prover, Dipp_graph.Planarity.embed g) with
@@ -70,4 +71,5 @@ let run ?(seed = 0) ?(c = 3) ~prover inst =
       { Dip.accepted; rejecting = perm_ok.Dip.rejecting @ inner.Planar_embedding.verdict.Dip.rejecting };
     stats;
     inner;
+    transcript = Dip.transcript meter;
   }

@@ -6,6 +6,7 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   host_results : Path_outerplanarity.result list;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
 let derive_ears g =
@@ -14,11 +15,11 @@ let derive_ears g =
 (* Sub-ear of each ear: the full first ear; interiors of the others. *)
 let sub_ear idx ear = if idx = 0 then ear else List.filteri (fun i _ -> i > 0 && i < List.length ear - 1) ear
 
-let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n < 2 || not (Traversal.is_connected g) then invalid_arg "Series_parallel_dip.run: need a connected graph";
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   let rng = Rng.create (seed + 211) in
   let sizing_n = max n (Option.value ~default:n param_n) in
   let pa = Lr_sorting.Params.make ~c sizing_n in
@@ -329,4 +330,4 @@ let run ?(seed = 0) ?(c = 3) ?param_n ~prover inst =
         })
       (Dip.stats meter) host_results
   in
-  { verdict; stats; host_results }
+  { verdict; stats; host_results; transcript = Dip.transcript meter }

@@ -32,9 +32,12 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   host_results : Path_outerplanarity.result list;
+  transcript : (Dip.phase * Bits.t array) list;
+      (** the top-level meter's retained frames; non-empty iff [retain] —
+          component sub-runs meter separately and are not retained *)
 }
 
 val derive_ears : Graph.t -> int list list option
 (** Honest witness: SP-tree recognition + Eppstein's construction. *)
 
-val run : ?seed:int -> ?c:int -> ?param_n:int -> prover:prover -> instance -> result
+val run : ?seed:int -> ?c:int -> ?param_n:int -> ?retain:bool -> prover:prover -> instance -> result

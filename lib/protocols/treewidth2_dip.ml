@@ -6,13 +6,14 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   component_results : Series_parallel_dip.result list;
+  transcript : (Dip.phase * Bits.t array) list;
 }
 
-let run ?(seed = 0) ?(c = 3) ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 || not (Traversal.is_connected g) then invalid_arg "Treewidth2_dip.run: need a connected graph";
-  let meter = Dip.meter () in
+  let meter = Dip.meter ~retain () in
   let rng = Rng.create (seed + 311) in
   let pa = Lr_sorting.Params.make ~c n in
   let nb = Fp.bit_width pa.Lr_sorting.Params.p in
@@ -166,4 +167,4 @@ let run ?(seed = 0) ?(c = 3) ~prover inst =
         })
       (Dip.stats meter) component_results
   in
-  { verdict; stats; component_results }
+  { verdict; stats; component_results; transcript = Dip.transcript meter }

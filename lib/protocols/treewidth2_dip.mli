@@ -17,6 +17,9 @@ type result = {
   verdict : Dip.verdict;
   stats : Dip.stats;
   component_results : Series_parallel_dip.result list;
+  transcript : (Dip.phase * Bits.t array) list;
+      (** the top-level meter's retained frames; non-empty iff [retain] —
+          component sub-runs meter separately and are not retained *)
 }
 
-val run : ?seed:int -> ?c:int -> prover:prover -> instance -> result
+val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result

@@ -1,0 +1,86 @@
+(* Content-addressed memo table for honest-prover executions.
+
+   A protocol run is a pure function of (protocol id, instance content,
+   seed), so its (verdict, stats) pair can be cached under the SHA-256 of
+   exactly those inputs.  The cache only ever returns what the closure
+   would have computed — consumers stay byte-identical with the cache on
+   or off; only the hit/miss counters (reported to stdout, never to the
+   JSON records) reveal it was there.  The table is process-wide and
+   mutex-guarded: the trial engine's worker domains share it. *)
+
+type outcome = Dip.verdict * Dip.stats
+
+type entry = { outcome : outcome; fill_s : float }
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 256
+let lock = Mutex.create ()
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let saved = Atomic.make 0  (* microseconds, to stay in Atomic's int domain *)
+
+let enabled () =
+  match Sys.getenv_opt "DIPP_LABEL_CACHE" with Some "0" -> false | Some _ | None -> true
+
+let key ~protocol ~instance ~seed =
+  Sha256.hex (String.concat "\x00" [ protocol; instance; string_of_int seed ])
+
+let graph_key g = Trace.graph_digest g
+
+let lr_key (inst : Lr_sorting.instance) =
+  (* the underlying graph forgets arc orientation and the path order, both
+     of which the prover's labels depend on — hash the full instance *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "lr n=%d\npath " inst.Lr_sorting.n);
+  Array.iter (fun v -> Buffer.add_string b (string_of_int v ^ ",")) inst.Lr_sorting.path;
+  Buffer.add_string b "\narcs ";
+  List.iter (fun (u, v) -> Buffer.add_string b (Printf.sprintf "%d>%d," u v)) inst.Lr_sorting.arcs;
+  Sha256.hex (Buffer.contents b)
+
+let find_or_run ~key f =
+  if not (enabled ()) then f ()
+  else begin
+    Mutex.lock lock;
+    let cached = Hashtbl.find_opt table key in
+    Mutex.unlock lock;
+    match cached with
+    | Some e ->
+        Atomic.incr hits;
+        ignore (Atomic.fetch_and_add saved (int_of_float (e.fill_s *. 1e6)));
+        e.outcome
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let outcome = f () in
+        let fill_s = Unix.gettimeofday () -. t0 in
+        Mutex.lock lock;
+        (* a racing domain may have filled the slot meanwhile; both computed
+           the same pure value, so either write is fine *)
+        Hashtbl.replace table key { outcome; fill_s };
+        Mutex.unlock lock;
+        Atomic.incr misses;
+        outcome
+  end
+
+let stats () = (Atomic.get hits, Atomic.get misses)
+
+let hit_rate () =
+  let h, m = stats () in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let saved_s () = float_of_int (Atomic.get saved) /. 1e6
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock;
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set saved 0
+
+let report () =
+  if not (enabled ()) then "label-cache: disabled (DIPP_LABEL_CACHE=0)"
+  else
+    let h, m = stats () in
+    Printf.sprintf "label-cache: %d hits / %d lookups (%.1f%% hit rate), ~%.2fs recompute saved" h
+      (h + m)
+      (100. *. hit_rate ())
+      (saved_s ())

@@ -1,0 +1,346 @@
+(* Canonical binary proof transcripts.
+
+   A trace is the full public record of one protocol execution: the
+   round-by-round label/coin frames the meter retained, the per-node
+   verdict bits, and the measured stats (stored explicitly — composite
+   protocols merge component meters into their stats, so the numbers are
+   not derivable from the top-level frames alone).  The on-disk form is a
+   one-line ASCII magic header followed by a length-prefixed binary body,
+   closed by a content digest over (protocol id, graph digest, seed,
+   frame bytes); the loader recomputes the digest, so a flipped byte
+   anywhere in the frames fails loudly instead of replaying quietly. *)
+
+type runtime = Dip_runtime | Net_runtime
+
+type frame = Dip.phase * Bits.t array
+
+type t = {
+  experiment : string;
+  protocol : string;
+  runtime : runtime;
+  recipe : string;
+  graph_digest : string;
+  seed : int;
+  n : int;
+  stats : Dip.stats;
+  frames : frame list;
+  verdicts : bool array;
+}
+
+let version = 1
+let magic = Printf.sprintf "DIPP-TRACE %d\n" version
+
+let runtime_name = function Dip_runtime -> "dip" | Net_runtime -> "net"
+
+let graph_digest g = Sha256.hex (Graph_io.to_edge_list g)
+
+let verdict_of t =
+  let rejecting = ref [] in
+  for v = Array.length t.verdicts - 1 downto 0 do
+    if not t.verdicts.(v) then rejecting := v :: !rejecting
+  done;
+  { Dip.accepted = List.is_empty !rejecting; rejecting = !rejecting }
+
+let verdicts_of_verdict ~n (v : Dip.verdict) =
+  let a = Array.make n true in
+  List.iter (fun r -> if r >= 0 && r < n then a.(r) <- false) v.Dip.rejecting;
+  a
+
+let phase_maxima frames =
+  List.map
+    (fun (ph, arr) -> (ph, Array.fold_left (fun m b -> max m (Bits.length b)) 0 arr))
+    frames
+
+(* ---- binary body ----------------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let put_u32 b v =
+  if v < 0 then invalid_arg "Trace: negative length";
+  Buffer.add_int32_be b (Int32.of_int v)
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_phase b = function Dip.Prover_phase -> put_u8 b 0 | Dip.Verifier_phase -> put_u8 b 1
+
+let put_bits b bits =
+  put_u32 b (Bits.length bits);
+  Buffer.add_bytes b (Bits.to_bytes bits)
+
+let put_frame b (ph, arr) =
+  put_phase b ph;
+  put_u32 b (Array.length arr);
+  Array.iter (put_bits b) arr
+
+let frame_bytes frames =
+  let b = Buffer.create 1024 in
+  put_u32 b (List.length frames);
+  List.iter (put_frame b) frames;
+  Buffer.contents b
+
+let digest t =
+  Sha256.hex
+    (String.concat "\n"
+       [ t.protocol; t.graph_digest; string_of_int t.seed; frame_bytes t.frames ])
+
+let put_stats b (s : Dip.stats) =
+  put_u32 b s.Dip.interaction_rounds;
+  put_u32 b s.Dip.proof_size_bits;
+  put_u32 b s.Dip.max_node_total_bits;
+  put_i64 b s.Dip.total_prover_bits;
+  put_i64 b s.Dip.total_verifier_bits;
+  put_u32 b (List.length s.Dip.phases);
+  List.iter (put_phase b) s.Dip.phases;
+  put_u32 b (List.length s.Dip.per_phase);
+  List.iter
+    (fun (ph, bits) ->
+      put_phase b ph;
+      put_u32 b bits)
+    s.Dip.per_phase
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  put_str b t.experiment;
+  put_str b t.protocol;
+  put_u8 b (match t.runtime with Dip_runtime -> 0 | Net_runtime -> 1);
+  put_str b t.recipe;
+  put_str b t.graph_digest;
+  put_i64 b t.seed;
+  put_u32 b t.n;
+  put_stats b t.stats;
+  Buffer.add_string b (frame_bytes t.frames);
+  put_u32 b (Array.length t.verdicts);
+  Array.iter (fun v -> put_u8 b (if v then 1 else 0)) t.verdicts;
+  put_str b (digest t);
+  Buffer.contents b
+
+(* ---- parsing --------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf invalid_arg ("Trace: " ^^ fmt)
+
+type cursor = { src : string; mutable pos : int }
+
+let need c k = if c.pos + k > String.length c.src then fail "truncated file"
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.src c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then fail "negative length field";
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.src c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str c =
+  let len = get_u32 c in
+  need c len;
+  let s = String.sub c.src c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_phase c =
+  match get_u8 c with
+  | 0 -> Dip.Prover_phase
+  | 1 -> Dip.Verifier_phase
+  | k -> fail "bad phase tag %d" k
+
+let get_bits c =
+  let len = get_u32 c in
+  let nbytes = (len + 7) / 8 in
+  need c nbytes;
+  let data = Bytes.of_string (String.sub c.src c.pos nbytes) in
+  c.pos <- c.pos + nbytes;
+  Bits.of_bytes ~len data
+
+(* Array.init/List.init do not promise left-to-right evaluation, which a
+   stateful cursor needs — read sequentially and assemble after. *)
+let read_seq k f =
+  let rec go i acc = if i = k then List.rev acc else go (i + 1) (f () :: acc) in
+  go 0 []
+
+let get_frame c =
+  let ph = get_phase c in
+  let k = get_u32 c in
+  (ph, Array.of_list (read_seq k (fun () -> get_bits c)))
+
+let get_frames c =
+  let k = get_u32 c in
+  read_seq k (fun () -> get_frame c)
+
+let get_stats c =
+  let interaction_rounds = get_u32 c in
+  let proof_size_bits = get_u32 c in
+  let max_node_total_bits = get_u32 c in
+  let total_prover_bits = get_i64 c in
+  let total_verifier_bits = get_i64 c in
+  let np = get_u32 c in
+  let phases = read_seq np (fun () -> get_phase c) in
+  let npp = get_u32 c in
+  let per_phase =
+    read_seq npp (fun () ->
+        let ph = get_phase c in
+        let bits = get_u32 c in
+        (ph, bits))
+  in
+  {
+    Dip.interaction_rounds;
+    proof_size_bits;
+    max_node_total_bits;
+    total_prover_bits;
+    total_verifier_bits;
+    phases;
+    per_phase;
+  }
+
+let of_string s =
+  let ml = String.length magic in
+  if String.length s < ml || String.sub s 0 ml <> magic then
+    fail "bad magic (not a %S file)" (String.trim magic);
+  let c = { src = s; pos = ml } in
+  let experiment = get_str c in
+  let protocol = get_str c in
+  let runtime =
+    match get_u8 c with 0 -> Dip_runtime | 1 -> Net_runtime | k -> fail "bad runtime tag %d" k
+  in
+  let recipe = get_str c in
+  let graph_digest = get_str c in
+  let seed = get_i64 c in
+  let n = get_u32 c in
+  let stats = get_stats c in
+  let frames = get_frames c in
+  let nv = get_u32 c in
+  let verdicts = Array.of_list (read_seq nv (fun () -> get_u8 c <> 0)) in
+  let stored = get_str c in
+  if c.pos <> String.length s then fail "%d trailing bytes" (String.length s - c.pos);
+  let t = { experiment; protocol; runtime; recipe; graph_digest; seed; n; stats; frames; verdicts } in
+  let actual = digest t in
+  if not (String.equal stored actual) then
+    fail "digest mismatch (stored %s..., recomputed %s...): file corrupted or tampered"
+      (String.sub stored 0 12) (String.sub actual 0 12);
+  t
+
+let to_file path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (to_string t))
+
+let of_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  try of_string s with Invalid_argument msg -> invalid_arg (path ^ ": " ^ msg)
+
+(* ---- structural diff -------------------------------------------------- *)
+
+let phase_letter = function Dip.Prover_phase -> "P" | Dip.Verifier_phase -> "V"
+
+let diff_stats (a : Dip.stats) (b : Dip.stats) =
+  if a.Dip.interaction_rounds <> b.Dip.interaction_rounds then
+    Some
+      (Printf.sprintf "interaction rounds differ: %d vs %d" a.Dip.interaction_rounds
+         b.Dip.interaction_rounds)
+  else if a.Dip.proof_size_bits <> b.Dip.proof_size_bits then
+    Some (Printf.sprintf "proof size differs: %d vs %d bits" a.Dip.proof_size_bits b.Dip.proof_size_bits)
+  else if a.Dip.max_node_total_bits <> b.Dip.max_node_total_bits then
+    Some
+      (Printf.sprintf "max node total differs: %d vs %d bits" a.Dip.max_node_total_bits
+         b.Dip.max_node_total_bits)
+  else if a.Dip.total_prover_bits <> b.Dip.total_prover_bits then
+    Some
+      (Printf.sprintf "total prover bits differ: %d vs %d" a.Dip.total_prover_bits
+         b.Dip.total_prover_bits)
+  else if a.Dip.total_verifier_bits <> b.Dip.total_verifier_bits then
+    Some
+      (Printf.sprintf "total verifier bits differ: %d vs %d" a.Dip.total_verifier_bits
+         b.Dip.total_verifier_bits)
+  else if a.Dip.phases <> b.Dip.phases then Some "phase schedules differ"
+  else if a.Dip.per_phase <> b.Dip.per_phase then
+    Some
+      (Printf.sprintf "per-phase maxima differ: [%s] vs [%s]"
+         (String.concat " " (List.map (fun (p, x) -> phase_letter p ^ string_of_int x) a.Dip.per_phase))
+         (String.concat " " (List.map (fun (p, x) -> phase_letter p ^ string_of_int x) b.Dip.per_phase)))
+  else None
+
+let diff_frames fa fb =
+  if List.length fa <> List.length fb then
+    Some (Printf.sprintf "frame counts differ: %d vs %d rounds" (List.length fa) (List.length fb))
+  else
+    let rec go r = function
+      | [], [] -> None
+      | (pa, aa) :: ra, (pb, ab) :: rb ->
+          if pa <> pb then
+            Some
+              (Printf.sprintf "round %d: phase differs (%s vs %s)" r (phase_letter pa)
+                 (phase_letter pb))
+          else if Array.length aa <> Array.length ab then
+            Some
+              (Printf.sprintf "round %d (%s): label counts differ (%d vs %d)" r (phase_letter pa)
+                 (Array.length aa) (Array.length ab))
+          else begin
+            let bad = ref None in
+            Array.iteri
+              (fun v la ->
+                if !bad = None && not (Bits.equal la ab.(v)) then
+                  bad :=
+                    Some
+                      (Printf.sprintf "round %d (%s): node %d label differs (%d vs %d bits)" r
+                         (phase_letter pa) v (Bits.length la) (Bits.length ab.(v))))
+              aa;
+            match !bad with None -> go (r + 1) (ra, rb) | some -> some
+          end
+      | _ -> assert false
+    in
+    go 0 (fa, fb)
+
+let diff a b =
+  let field name pr va vb = if va = vb then None else Some (Printf.sprintf "%s differs: %s vs %s" name (pr va) (pr vb)) in
+  let ( <|> ) x y = match x with Some _ -> x | None -> y () in
+  field "experiment" Fun.id a.experiment b.experiment
+  <|> fun () ->
+  field "protocol" Fun.id a.protocol b.protocol
+  <|> fun () ->
+  field "runtime" Fun.id (runtime_name a.runtime) (runtime_name b.runtime)
+  <|> fun () ->
+  field "graph digest" Fun.id a.graph_digest b.graph_digest
+  <|> fun () ->
+  field "seed" string_of_int a.seed b.seed
+  <|> fun () ->
+  field "n" string_of_int a.n b.n
+  <|> fun () ->
+  diff_stats a.stats b.stats
+  <|> fun () ->
+  diff_frames a.frames b.frames
+  <|> fun () ->
+  if a.verdicts <> b.verdicts then begin
+    let k = ref (-1) in
+    Array.iteri (fun v x -> if !k < 0 && (v >= Array.length b.verdicts || x <> b.verdicts.(v)) then k := v) a.verdicts;
+    Some
+      (if Array.length a.verdicts <> Array.length b.verdicts then
+         Printf.sprintf "verdict counts differ: %d vs %d nodes" (Array.length a.verdicts)
+           (Array.length b.verdicts)
+       else Printf.sprintf "verdict differs at node %d: %b vs %b" !k a.verdicts.(!k) b.verdicts.(!k))
+  end
+  else None
+
+let equal a b = diff a b = None
+
+let summary t =
+  Printf.sprintf "%s %s [%s] n=%d seed=%d rounds=%d frames=%d verdict=%s digest=%s" t.experiment
+    t.protocol (runtime_name t.runtime) t.n t.seed t.stats.Dip.interaction_rounds
+    (List.length t.frames)
+    (if (verdict_of t).Dip.accepted then "accept" else "reject")
+    (String.sub (digest t) 0 12)

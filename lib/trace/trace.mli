@@ -1,0 +1,72 @@
+(** Canonical binary proof transcripts with content-addressed digests.
+
+    A trace records one protocol execution end to end: the header names
+    the experiment family, protocol, runtime and instance recipe; the
+    body carries the round-by-round label/coin frames (the retained
+    {!Dip.meter} arrays, or the network runtime's per-round payloads),
+    the per-node verdict bits, and the measured {!Dip.stats}.  Stats are
+    stored explicitly because composite protocols (Theorems 1.3-1.7)
+    merge component meters into their stats — the totals are not
+    derivable from the top-level frames alone.
+
+    File format: the ASCII magic line ["DIPP-TRACE 1"], then a
+    length-prefixed big-endian binary body, then the {!digest} — a
+    SHA-256 over (protocol id, graph digest, seed, frame bytes).
+    {!of_file} recomputes the digest and rejects any mismatch, so
+    tampering with a frame fails at load time, not at replay time. *)
+
+type runtime = Dip_runtime | Net_runtime
+
+type frame = Dip.phase * Bits.t array
+(** One round: the label (P) or coin (V) assigned to every node; for
+    network traces every frame is a prover round payload. *)
+
+type t = {
+  experiment : string;  (** corpus family id, e.g. ["E3"] *)
+  protocol : string;  (** protocol id, e.g. ["path_outerplanarity"] *)
+  runtime : runtime;
+  recipe : string;  (** human-readable instance recipe, e.g. ["lr_yes n=128 gseed=42"] *)
+  graph_digest : string;  (** {!graph_digest} of the instance graph *)
+  seed : int;  (** the protocol run seed *)
+  n : int;
+  stats : Dip.stats;
+  frames : frame list;
+  verdicts : bool array;  (** per-node accept bit *)
+}
+
+val version : int
+
+val graph_digest : Graph.t -> string
+(** SHA-256 hex of {!Graph_io.to_edge_list}'s canonical text. *)
+
+val digest : t -> string
+(** Content address: SHA-256 hex over (protocol, graph digest, seed,
+    serialized frames). *)
+
+val verdict_of : t -> Dip.verdict
+val verdicts_of_verdict : n:int -> Dip.verdict -> bool array
+
+val phase_maxima : frame list -> (Dip.phase * int) list
+(** Per round, the largest label in the frame (bits) — comparable to
+    {!Dip.stats.per_phase} for protocols whose stats come from the same
+    meter that retained the frames. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Invalid_argument] on bad magic, truncation, trailing bytes,
+    malformed fields, or a digest mismatch. *)
+
+val to_file : string -> t -> unit
+val of_file : string -> t
+(** Like {!of_string}; errors carry the path. *)
+
+val diff : t -> t -> string option
+(** [None] iff byte-equivalent; otherwise the first divergence (header
+    field, stats column, frame round/node, or verdict bit). *)
+
+val equal : t -> t -> bool
+
+val runtime_name : runtime -> string
+val summary : t -> string
+(** One line: family, protocol, runtime, n, seed, rounds, verdict, short
+    digest. *)

@@ -78,6 +78,19 @@ let of_string s =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
+let to_bytes t = Bytes.copy t.data
+
+let of_bytes ~len data =
+  if len < 0 || Bytes.length data <> bytes_for len then invalid_arg "Bits.of_bytes";
+  let data = Bytes.copy data in
+  (* re-zero the tail bits so structural equality stays meaningful even on
+     bytes that came from disk *)
+  if len land 7 <> 0 then begin
+    let j = Bytes.length data - 1 in
+    Bytes.set data j (Char.chr (Char.code (Bytes.get data j) land ((1 lsl (len land 7)) - 1)))
+  end;
+  { len; data }
+
 module Writer = struct
   type nonrec t = { mutable rev : t list }
 

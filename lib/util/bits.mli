@@ -45,6 +45,15 @@ val of_string : string -> t
 
 val pp : Format.formatter -> t -> unit
 
+val to_bytes : t -> bytes
+(** The packed byte image (bit [i] in byte [i/8], mask [1 lsl (i mod 8)];
+    unused tail bits zero).  With {!length}, a lossless binary form — the
+    transcript codec stores bitstrings this way. *)
+
+val of_bytes : len:int -> bytes -> t
+(** Inverse of {!to_bytes}.  Raises [Invalid_argument] if the byte count
+    does not match [len]; tail bits beyond [len] are zeroed. *)
+
 module Writer : sig
   type bits := t
   type t

@@ -20,7 +20,22 @@ val split_string : t -> string -> t
     textual label (e.g. an experiment id).  Like {!split}, the derivation
     depends only on [t]'s seed and [label] — never on how much of [t] has
     been consumed — so derived streams are stable no matter which worker
-    domain draws them, or in which order. *)
+    domain draws them, or in which order.
+
+    {b Domain-separation invariant.}  Distinct key strings yield
+    (statistically) independent streams: the key is hashed in full
+    (FNV-1a 64 finalized through the SplitMix64 mixer), so keys differing
+    in any byte — including the empty string versus any non-empty key, and
+    a key versus any proper prefix of it — land in unrelated streams.
+    What the hash can {e not} do is distinguish two different
+    decompositions of the same concatenated text: callers that build keys
+    by concatenating fields must keep the fields self-delimiting
+    (separator characters that cannot appear in the fields, as in the
+    engine's ["e2/forge-pairs/c3"] ids, the net runtime's ["3>7"] link
+    ids, and the transcript subsystem's ["inst|<family>"] cache keys) —
+    otherwise ["ab" ^ "c"] and ["a" ^ "bc"] would collide by
+    construction.  The QCheck suite in [test/test_util.ml] exercises both
+    halves of this contract. *)
 
 val bits64 : t -> int64
 val bool : t -> bool

@@ -1,0 +1,22 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    The transcript subsystem content-addresses its artifacts: a trace
+    digest is SHA-256 over (protocol id, graph digest, seed, transcript
+    bytes), and the honest-prover label cache keys on (protocol, instance
+    digest, coin digest).  The repo deliberately carries its own ~100-line
+    implementation instead of growing a dependency: digests here name
+    cache entries and golden corpus files, they are not a secrecy
+    boundary. *)
+
+val digest_bytes : Bytes.t -> string
+(** Raw 32-byte digest. *)
+
+val digest_string : string -> string
+(** Raw 32-byte digest. *)
+
+val hex_of_raw : string -> string
+(** Lowercase hex rendering of a raw digest (or any string). *)
+
+val hex : string -> string
+(** [hex s] = [hex_of_raw (digest_string s)] — the 64-char form used in
+    reports, cache keys and corpus manifests. *)

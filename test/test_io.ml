@@ -19,10 +19,26 @@ let test_parse_inline_comment () =
   Alcotest.(check int) "m" 1 (Graph.m g)
 
 let test_parse_errors () =
-  Alcotest.check_raises "garbage" (Invalid_argument "Graph_io: line 1: expected two node ids") (fun () ->
-      ignore (Graph_io.parse_edge_list "a b"));
-  Alcotest.check_raises "three fields" (Invalid_argument "Graph_io: line 2: expected 'u v'") (fun () ->
-      ignore (Graph_io.parse_edge_list "0 1\n0 1 2"))
+  let raises name msg text =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Graph_io.parse_edge_list text))
+  in
+  raises "garbage" "Graph_io: line 1: expected a node id, got \"a\"" "a b";
+  raises "three fields" "Graph_io: line 2: expected 'u v', got 3 fields" "0 1\n0 1 2";
+  raises "negative id" "Graph_io: line 1: negative node id -3" "-3 1";
+  raises "self-loop" "Graph_io: line 3: self-loop 4 4" "0 1\n1 2\n4 4";
+  raises "bad n" "Graph_io: line 1: bad node count \"five\"" "n five\n0 1";
+  raises "out of range" "Graph_io: line 3: node id 9 out of range (n = 5)" "n 5\n0 1\n2 9"
+
+let test_read_file_error () =
+  let path = Filename.temp_file "dipp" ".txt" in
+  let oc = open_out path in
+  output_string oc "0 1\nbroken line here\n";
+  close_out oc;
+  Alcotest.check_raises "path prefixed"
+    (Invalid_argument (path ^ ": Graph_io: line 2: expected 'u v', got 3 fields"))
+    (fun () -> ignore (Graph_io.read_file path));
+  Sys.remove path
 
 let prop_io_roundtrip =
   QCheck.Test.make ~name:"graph_io: to_edge_list / parse roundtrip" ~count:40
@@ -185,6 +201,7 @@ let () =
           Alcotest.test_case "infer n" `Quick test_parse_infers_n;
           Alcotest.test_case "inline comment" `Quick test_parse_inline_comment;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "read_file error" `Quick test_read_file_error;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "dot" `Quick test_dot_output;
           qtest prop_io_roundtrip;

@@ -114,6 +114,72 @@ let test_rng_shuffle_permutation () =
   Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
 
+(* ---- split_string domain separation (rng.mli invariant) ------------- *)
+
+let streams_differ a b =
+  (* 64 draws from truly independent streams collide with probability ~2^-58
+     per draw; any overlap beyond noise means the keys were conflated. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  !same < 4
+
+let key_gen =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 24) QCheck.Gen.printable
+
+let prop_split_string_empty_vs_any =
+  QCheck.Test.make ~name:"rng: split_string \"\" differs from any non-empty key" ~count:100
+    QCheck.(pair (int_bound 10000) key_gen)
+    (fun (seed, key) ->
+      QCheck.assume (key <> "");
+      let base = Rng.create seed in
+      streams_differ (Rng.split_string base "") (Rng.split_string base key))
+
+let prop_split_string_prefix_keys =
+  QCheck.Test.make ~name:"rng: split_string on a proper prefix differs from the full key" ~count:100
+    QCheck.(triple (int_bound 10000) key_gen (string_gen_of_size (Gen.int_range 1 12) Gen.printable))
+    (fun (seed, key, suffix) ->
+      let base = Rng.create seed in
+      streams_differ (Rng.split_string base key) (Rng.split_string base (key ^ suffix)))
+
+let prop_split_string_stable =
+  QCheck.Test.make ~name:"rng: split_string ignores how much of the parent was consumed" ~count:100
+    QCheck.(triple (int_bound 10000) key_gen (int_range 0 20))
+    (fun (seed, key, draws) ->
+      let fresh = Rng.create seed in
+      let consumed = Rng.create seed in
+      for _ = 1 to draws do
+        ignore (Rng.bits64 consumed)
+      done;
+      Rng.bits64 (Rng.split_string fresh key) = Rng.bits64 (Rng.split_string consumed key))
+
+(* ---- Sha256 --------------------------------------------------------- *)
+
+let test_sha256_vectors () =
+  (* FIPS 180-4 test vectors *)
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  Alcotest.(check string) "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "10^6 x a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_sha256_bytes_and_hex_of_raw () =
+  let raw = Sha256.digest_string "abc" in
+  Alcotest.(check int) "raw is 32 bytes" 32 (String.length raw);
+  Alcotest.(check string) "hex_of_raw agrees" (Sha256.hex "abc") (Sha256.hex_of_raw raw);
+  Alcotest.(check string) "digest_bytes agrees" raw
+    (Sha256.digest_bytes (Bytes.of_string "abc"))
+
 (* ---- Prime / Fp ---------------------------------------------------- *)
 
 let test_primes_small () =
@@ -206,6 +272,15 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "uniform-ish" `Quick test_rng_uniformish;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          qtest prop_split_string_empty_vs_any;
+          qtest prop_split_string_prefix_keys;
+          qtest prop_split_string_stable;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a" `Quick test_sha256_million_a;
+          Alcotest.test_case "raw digest" `Quick test_sha256_bytes_and_hex_of_raw;
         ] );
       ( "field",
         [
