@@ -548,6 +548,38 @@ let ablation () =
    with Dip.check_budget against a real honest run, and written as
    bounds_report.json (override the path with DIPP_BOUNDS_OUT) for CI
    to archive and diff. *)
+(* Static refinement interval for a registry row: the refine pass
+   (lib/analysis/refine.ml) run over the protocol's source, giving
+   symbolic bounds on the widest single own-phase record_prover label.
+   Evaluated at each concrete instance size this is the "inferred"
+   column between the claimed envelope and the measured proof size.
+   Note it bounds the per-phase label width, not the parallel-composition
+   sum Dip.check_budget measures — sub-protocol sums stay a runtime
+   matter, so inferred <= claimed while measured may exceed inferred. *)
+let refine_program = lazy (try Some (Dipp_analysis.Typed_scan.load_tree "lib") with _ -> None)
+
+let refine_interval =
+  let cache = Hashtbl.create 16 in
+  fun id ->
+    match Hashtbl.find_opt cache id with
+    | Some r -> r
+    | None ->
+        let r =
+          let candidates = [ "lib/protocols/" ^ id ^ ".ml"; "lib/baselines/" ^ id ^ ".ml" ] in
+          match (Lazy.force refine_program, List.find_opt Sys.file_exists candidates) with
+          | Some program, Some file -> (
+              try
+                let src = In_channel.with_open_bin file In_channel.input_all in
+                let structure = Dipp_analysis.Ast_scan.parse_file file in
+                let annots = Dipp_analysis.Refine.annotations_of_source src in
+                let res = Dipp_analysis.Refine.analyze ~program ~annots ~filename:file structure in
+                Some (res.Dipp_analysis.Refine.label_lo, res.Dipp_analysis.Refine.label_hi)
+              with _ -> None)
+          | _ -> None
+        in
+        Hashtbl.replace cache id r;
+        r
+
 let bounds () =
   header "BOUNDS  declared budgets (Theorems 1.2-1.8) vs measured honest runs";
   let entries = ref [] in
@@ -557,13 +589,27 @@ let bounds () =
     | Some row ->
         let b = Bounds.budget row ~n ~delta in
         let violations = Dip.check_budget b stats in
-        entries := (row, n, delta, b, stats, violations) :: !entries;
-        Printf.printf "%-22s %-28s %7d %5d %9d %10d  %s\n" row.Bounds.id row.Bounds.theorem n
-          delta b.Dip.budget_proof_bits stats.Dip.proof_size_bits
+        let inferred =
+          match refine_interval id with
+          | None -> None
+          | Some (lo, hi) ->
+              let ev f = Option.join (Option.map (Dipp_analysis.Refine.eval_form ~n ~delta) f) in
+              Some (ev lo, ev hi)
+        in
+        let inferred_str =
+          match inferred with
+          | Some (lo, hi) ->
+              let s = function Some v -> string_of_int v | None -> "?" in
+              Printf.sprintf "[%s, %s]" (s lo) (s hi)
+          | None -> "-"
+        in
+        entries := (row, n, delta, b, stats, violations, inferred) :: !entries;
+        Printf.printf "%-22s %-28s %7d %5d %9d %12s %10d  %s\n" row.Bounds.id row.Bounds.theorem
+          n delta b.Dip.budget_proof_bits inferred_str stats.Dip.proof_size_bits
           (match violations with [] -> "ok" | _ :: _ -> "CLAIM VIOLATED")
   in
-  Printf.printf "%-22s %-28s %7s %5s %9s %10s\n" "protocol" "theorem" "n" "delta" "claimed"
-    "measured";
+  Printf.printf "%-22s %-28s %7s %5s %9s %12s %10s\n" "protocol" "theorem" "n" "delta" "claimed"
+    "inferred" "measured";
   List.iter
     (fun n ->
       let path, arcs = Gen.lr_yes ~n 42 in
@@ -639,9 +685,16 @@ let bounds () =
   let phases s = Format.asprintf "%a" Dip.pp_phases s in
   output_string oc "[";
   List.iteri
-    (fun i (row, n, delta, (b : Dip.budget), (stats : Dip.stats), violations) ->
+    (fun i (row, n, delta, (b : Dip.budget), (stats : Dip.stats), violations, inferred) ->
       let vstrings =
         List.map (fun vio -> Format.asprintf "%a" Dip.pp_budget_violation vio) violations
+      in
+      let inferred_json =
+        match inferred with
+        | None -> "null"
+        | Some (lo, hi) ->
+            let s = function Some v -> string_of_int v | None -> "null" in
+            Printf.sprintf "{\"label_lo\": %s, \"label_hi\": %s}" (s lo) (s hi)
       in
       Printf.fprintf oc
         "%s\n\
@@ -649,12 +702,14 @@ let bounds () =
          \"delta\": %d,\n\
         \   \"claimed\": {\"rounds\": %d, \"schedule\": \"%s\", \"proof_bits\": %d, \
          \"floor_bits\": %d},\n\
+        \   \"inferred\": %s,\n\
         \   \"measured\": {\"rounds\": %d, \"schedule\": \"%s\", \"proof_bits\": %d},\n\
         \   \"violations\": [%s], \"claim_violated\": %b}"
         (if i = 0 then "" else ",")
         row.Bounds.id row.Bounds.theorem row.Bounds.family n delta b.Dip.budget_rounds
         (phases b.Dip.budget_schedule) b.Dip.budget_proof_bits b.Dip.budget_floor_bits
-        stats.Dip.interaction_rounds (phases stats.Dip.phases) stats.Dip.proof_size_bits
+        inferred_json stats.Dip.interaction_rounds (phases stats.Dip.phases)
+        stats.Dip.proof_size_bits
         (String.concat ", " (List.map (fun s -> "\"" ^ s ^ "\"") vstrings))
         (match violations with [] -> false | _ :: _ -> true))
     entries;
@@ -662,7 +717,9 @@ let bounds () =
   close_out oc;
   let violated =
     List.length
-      (List.filter (fun (_, _, _, _, _, vs) -> match vs with [] -> false | _ :: _ -> true) entries)
+      (List.filter
+         (fun (_, _, _, _, _, vs, _) -> match vs with [] -> false | _ :: _ -> true)
+         entries)
   in
   Printf.printf "\nwrote %s: %d rows, %d with violated claims\n" out (List.length entries) violated
 

@@ -10,8 +10,51 @@ let renderer = function
   | Json -> Report.pp_json
   | Sarif -> Report.pp_sarif
 
+(* The [--refine-safe] report: every subscript/slice the refinement pass
+   proved in bounds, one `file:line:col: [refine-safe] desc` line each. *)
+let rec ml_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
+    |> List.fold_left (fun acc name -> ml_files acc (Filename.concat path name)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_safes out roots =
+  let files = List.rev (List.fold_left ml_files [] roots) in
+  let program = Typed_scan.empty () in
+  List.iter
+    (fun file ->
+      match Ast_scan.parse_file file with
+      | structure ->
+          Typed_scan.add_structure ~file program ~modname:(Typed_scan.module_name file) structure
+      | exception _ -> ())
+    files;
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      match Ast_scan.parse_file file with
+      | exception _ -> ()
+      | structure ->
+          let annots = Refine.annotations_of_source (read_file file) in
+          let result = Refine.analyze ~program ~annots ~filename:file structure in
+          List.iter
+            (fun (s : Refine.safe) ->
+              incr total;
+              Format.fprintf out "%s:%d:%d: [refine-safe] %s@." s.sfile s.sline s.scol s.sdesc)
+            result.safe)
+    files;
+  Format.fprintf out "%d subscript(s) proved safe@." !total
+
 let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
   let paths = ref [] and selected = ref [] and list_rules = ref false in
+  let refine_safe = ref false in
   let format = ref Text in
   let spec =
     [
@@ -19,6 +62,9 @@ let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
         Arg.String (fun s -> selected := !selected @ String.split_on_char ',' s),
         "r1,r2 run only the named rules (default: all)" );
       ("--list-rules", Arg.Set list_rules, " print the known rules and exit");
+      ( "--refine-safe",
+        Arg.Set refine_safe,
+        " print the subscripts the refinement pass proved in bounds and exit" );
       ( "--format",
         Arg.Symbol
           ( [ "text"; "json"; "sarif" ],
@@ -56,6 +102,9 @@ let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
             | Some missing ->
                 Format.fprintf err "dipp_lint: no such path %s@." missing;
                 2
+            | None when !refine_safe ->
+                print_safes out roots;
+                0
             | None -> (
                 let findings =
                   List.concat_map

@@ -47,6 +47,26 @@ let rules =
         "no unguarded partial stdlib calls (List.tl, List.combine, Option.get); destructure with \
          a pattern match";
     };
+    {
+      id = Refine.rule_budget;
+      summary =
+        "numeric refinement: every record_prover label width inferred by the interval/affine \
+         pass must be provably within the declared proof-size envelope shape of the module's \
+         bounds-registry row (per-expression findings name the inferred interval)";
+    };
+    {
+      id = Refine.rule_index;
+      summary =
+        "numeric refinement: array/string/Bits subscripts in decision functions are re-proved \
+         in bounds from inferred intervals, and every Bits.unsafe_sub call site must be \
+         statically proved in range";
+    };
+    {
+      id = Refine.rule_annotation;
+      summary =
+        "every (* dipp-refine: ... *) annotation must parse as `width <= FORM` or `value <= \
+         FORM`; a malformed bound would silently assert nothing";
+    };
     { id = "missing-mli"; summary = "every library module ships a .mli interface" };
     { id = "parse-error"; summary = "the file must parse with the project's compiler" };
     {
@@ -219,6 +239,14 @@ let budget_required filename =
   | "protocols" | "baselines" -> true
   | _ -> false
 
+(* The refine-budget envelope for a file: the symbolic shape of its
+   registry row, if it has one. *)
+let refine_declared filename =
+  let base = Filename.remove_extension (Filename.basename filename) in
+  Option.map
+    (fun (r : Dipp_protocols.Bounds.row) -> Refine.envelope_of_shape r.shape)
+    (Dipp_protocols.Bounds.find base)
+
 let ast_findings ?program ~filename src =
   match Ast_scan.parse_string ~filename src with
   | structure ->
@@ -228,7 +256,14 @@ let ast_findings ?program ~filename src =
           ~require_declared:(budget_required filename)
           ~modname:(Typed_scan.module_name filename) structure
       in
-      Locality.check structure @ Flow.check ?program structure @ budget
+      let annots = Refine.annotations_of_source src in
+      let refine =
+        Refine.annotation_findings ~filename annots
+        @ Refine.check ?program ~annots
+            ?declared:(refine_declared filename)
+            ~filename structure
+      in
+      Locality.check structure @ Flow.check ?program structure @ budget @ refine
       @ hygiene ~filename structure
   | exception exn -> [ parse_error_finding ~filename exn ]
 

@@ -12,6 +12,13 @@
       with sub-protocol runs expanded, must realize exactly the rounds
       and phase order declared in the bounds registry
       ([lib/protocols/bounds.ml]);
+    - [refine-budget], [refine-index], [refine-annotation] — the numeric
+      refinement pass ({!Refine}): an interval/affine abstract
+      interpretation proves every [Dip.record_prover] label width is
+      within the declared proof-size envelope shape of the module's
+      bounds-registry row, re-proves subscripts in decision functions,
+      gates [Bits.unsafe_sub] on a static in-range proof, and rejects
+      malformed [(* dipp-refine: ... *)] annotations;
     - [rng] — randomness only through [Rng] ([lib/util/rng.ml]); direct
       [Random.*] calls break seeded reproducibility of soundness-error
       estimates;

@@ -4,7 +4,14 @@
    (flow-locality) resolve qualified calls against; single-file entry
    points run with an empty program and degrade gracefully. *)
 
-type entry = { params : string list; body : Parsetree.expression }
+type entry = {
+  params : string list;
+  body : Parsetree.expression;
+  file : string;
+  line : int;
+  orig : Parsetree.expression;
+}
+
 type program = (string, entry) Hashtbl.t
 
 let module_name path =
@@ -24,7 +31,7 @@ let peel_params expr =
 
 let empty () : program = Hashtbl.create 64
 
-let add_structure prog ~modname structure =
+let add_structure ?(file = "") prog ~modname structure =
   List.iter
     (fun (item : Parsetree.structure_item) ->
       match item.pstr_desc with
@@ -35,16 +42,23 @@ let add_structure prog ~modname structure =
               | Ppat_var { txt; _ } -> (
                   match peel_params vb.pvb_expr with
                   | Some (params, body) ->
-                      Hashtbl.replace prog (modname ^ "." ^ txt) { params; body }
+                      Hashtbl.replace prog (modname ^ "." ^ txt)
+                        {
+                          params;
+                          body;
+                          file;
+                          line = vb.pvb_pat.ppat_loc.loc_start.pos_lnum;
+                          orig = vb.pvb_expr;
+                        }
                   | None -> ())
               | _ -> ())
             vbs
       | _ -> ())
     structure
 
-let of_structure ~modname structure =
+let of_structure ?file ~modname structure =
   let prog = empty () in
-  add_structure prog ~modname structure;
+  add_structure ?file prog ~modname structure;
   prog
 
 let lookup prog ~modname ~name = Hashtbl.find_opt prog (modname ^ "." ^ name)
@@ -59,7 +73,7 @@ let load_tree root =
                walk (Filename.concat path name))
     else if Filename.check_suffix path ".ml" then
       match Ast_scan.parse_file path with
-      | structure -> add_structure prog ~modname:(module_name path) structure
+      | structure -> add_structure ~file:path prog ~modname:(module_name path) structure
       | exception _ -> ()
   in
   if Sys.file_exists root then walk root;

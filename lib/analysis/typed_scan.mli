@@ -10,6 +10,14 @@
 type entry = {
   params : string list;  (** every parameter name, across the [fun] chain *)
   body : Parsetree.expression;  (** the body with parameters peeled *)
+  file : string;
+      (** source path the entry was indexed from ([""] when built from an
+          in-memory structure) — the refinement pass reads width
+          annotations from it *)
+  line : int;  (** 1-based line of the binding's pattern *)
+  orig : Parsetree.expression;
+      (** the unpeeled binding expression, for passes that need the
+          parameter labels {!peel_params} discards *)
 }
 
 type program
@@ -23,10 +31,11 @@ val peel_params : Parsetree.expression -> (string list * Parsetree.expression) o
 
 val empty : unit -> program
 
-val add_structure : program -> modname:string -> Parsetree.structure -> unit
-(** Indexes every top-level [Ppat_var] function binding of the structure. *)
+val add_structure : ?file:string -> program -> modname:string -> Parsetree.structure -> unit
+(** Indexes every top-level [Ppat_var] function binding of the structure.
+    [file] (default [""]) is recorded on each entry. *)
 
-val of_structure : modname:string -> Parsetree.structure -> program
+val of_structure : ?file:string -> modname:string -> Parsetree.structure -> program
 
 val lookup : program -> modname:string -> name:string -> entry option
 

@@ -7,6 +7,7 @@ let full_width n =
 let run ?label_bits inst =
   Dipp_protocols.Lr_sorting.validate_instance inst;
   let n = inst.Dipp_protocols.Lr_sorting.n in
+  (* dipp-refine: value <= log + 1 *)
   let width = match label_bits with Some w -> w | None -> full_width n in
   let m = 1 lsl width in
   let meter = Dip.meter () in

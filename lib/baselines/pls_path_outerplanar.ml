@@ -25,6 +25,7 @@ let full_width n =
 let run ?label_bits inst =
   let g = inst.graph in
   let n = Graph.n g in
+  (* dipp-refine: value <= log + 1 *)
   let width = match label_bits with Some w -> w | None -> full_width n in
   let m = 1 lsl width in
   let meter = Dip.meter () in

@@ -3,6 +3,7 @@ type result = { verdict : Dip.verdict; stats : Dip.stats }
 let run g ~parent =
   let n = Graph.n g in
   let meter = Dip.meter () in
+  (* dipp-refine: value <= log + 1 *)
   let width =
     let rec go w = if 1 lsl w >= max 2 n then w else go (w + 1) in
     go 1

@@ -20,13 +20,26 @@
    measured stats at runtime; and [bench/main.exe bounds] emits the
    claim-vs-measured record (bounds_report.json) that CI archives. *)
 
+(* Envelope shapes, first-class so the static refinement pass
+   (lib/analysis/refine.ml) can compare inferred symbolic label widths
+   against the declared form instead of sampling an opaque closure.  The
+   additive constant absorbs the O(1) setup fields (forest-encoding
+   colors, tag bits, has/mark bits); the multiplier is per-field cost: a
+   handful of values from fields of size polylog(n), each O(c * log log n)
+   bits wide at c = 3. *)
+type shape =
+  | Loglog of { mult : int; add : int }  (* mult * loglog n + add *)
+  | Loglog_delta of { mult : int; dmult : int; add : int }
+      (* mult * loglog n + dmult * ceil_log2 (max 2 delta) + add *)
+  | Log of { mult : int; add : int }  (* mult * ceil_log2 n + add *)
+
 type row = {
   id : string;  (* protocol module basename, e.g. "lr_sorting" *)
   theorem : string;
   family : string;  (* printable proof-size family *)
   rounds : int;
   schedule : Dip.phase list;
-  envelope : n:int -> delta:int -> int;
+  shape : shape;
   floor : (int -> int) option;
 }
 
@@ -42,16 +55,14 @@ and v = Dip.Verifier_phase
 let five_round = [ p; v; p; v; p ]
 let one_round = [ p ]
 
-(* Envelope shapes.  The additive constant absorbs the O(1) setup fields
-   (forest-encoding colors, tag bits, has/mark bits); the multiplier is
-   per-(log log n)-field cost: a handful of values from fields of size
-   polylog(n), each O(c * log log n) bits wide at c = 3. *)
-let ll_envelope ~mult ~add ~n ~delta:_ = (mult * loglog n) + add
+let eval_shape shape ~n ~delta =
+  match shape with
+  | Loglog { mult; add } -> (mult * loglog n) + add
+  | Loglog_delta { mult; dmult; add } ->
+      (mult * loglog n) + (dmult * ceil_log2 (max 2 delta)) + add
+  | Log { mult; add } -> (mult * ceil_log2 n) + add
 
-let planarity_envelope ~mult ~add ~dmult ~n ~delta =
-  (mult * loglog n) + (dmult * ceil_log2 (max 2 delta)) + add
-
-let log_envelope ~mult ~add ~n ~delta:_ = (mult * ceil_log2 n) + add
+let envelope r ~n ~delta = eval_shape r.shape ~n ~delta
 
 let omega_log n = ceil_log2 n
 
@@ -63,7 +74,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:40 ~add:40;
+      shape = Loglog { mult = 40; add = 60 };
       floor = None;
     };
     {
@@ -72,7 +83,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:100 ~add:80;
+      shape = Loglog { mult = 100; add = 80 };
       floor = None;
     };
     {
@@ -81,7 +92,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:100 ~add:120;
+      shape = Loglog { mult = 100; add = 120 };
       floor = None;
     };
     {
@@ -90,7 +101,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:500 ~add:200;
+      shape = Loglog { mult = 500; add = 200 };
       floor = None;
     };
     {
@@ -99,7 +110,7 @@ let rows =
       family = "O(log log n + log Delta)";
       rounds = 5;
       schedule = five_round;
-      envelope = planarity_envelope ~mult:500 ~add:300 ~dmult:40;
+      shape = Loglog_delta { mult = 500; dmult = 40; add = 300 };
       floor = None;
     };
     {
@@ -108,7 +119,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:80 ~add:80;
+      shape = Loglog { mult = 80; add = 80 };
       floor = None;
     };
     {
@@ -117,7 +128,7 @@ let rows =
       family = "O(log log n)";
       rounds = 5;
       schedule = five_round;
-      envelope = ll_envelope ~mult:80 ~add:100;
+      shape = Loglog { mult = 80; add = 100 };
       floor = None;
     };
     (* One-round baselines: Theorem 1.8 says no 1-round scheme beats
@@ -129,7 +140,7 @@ let rows =
       family = "Theta(log n)";
       rounds = 1;
       schedule = one_round;
-      envelope = log_envelope ~mult:1 ~add:1;
+      shape = Log { mult = 1; add = 1 };
       floor = Some omega_log;
     };
     {
@@ -138,7 +149,7 @@ let rows =
       family = "Theta(log n)";
       rounds = 1;
       schedule = one_round;
-      envelope = log_envelope ~mult:4 ~add:8;
+      shape = Log { mult = 4; add = 8 };
       floor = Some omega_log;
     };
     {
@@ -147,7 +158,7 @@ let rows =
       family = "Theta(log n)";
       rounds = 1;
       schedule = one_round;
-      envelope = log_envelope ~mult:2 ~add:4;
+      shape = Log { mult = 2; add = 4 };
       floor = Some omega_log;
     };
   ]
@@ -158,6 +169,6 @@ let budget r ~n ~delta =
   {
     Dip.budget_rounds = r.rounds;
     budget_schedule = r.schedule;
-    budget_proof_bits = r.envelope ~n ~delta;
+    budget_proof_bits = envelope r ~n ~delta;
     budget_floor_bits = (match r.floor with Some f -> f n | None -> 0);
   }

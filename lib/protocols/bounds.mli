@@ -15,13 +15,27 @@
     [bench/main.exe bounds] (the claim-vs-measured [bounds_report.json]
     record). *)
 
+type shape =
+  | Loglog of { mult : int; add : int }
+      (** [mult * loglog n + add] — the paper's O(log log n) families *)
+  | Loglog_delta of { mult : int; dmult : int; add : int }
+      (** [mult * loglog n + dmult * ceil_log2 (max 2 delta) + add] — the
+          Theorem 1.5 O(log log n + log Delta) family *)
+  | Log of { mult : int; add : int }
+      (** [mult * ceil_log2 n + add] — the Theta(log n) PLS baselines *)
+
+(** A proof-size envelope as symbolic data rather than an opaque closure,
+    so the static refinement pass ([refine-budget] in dipp-lint) can
+    compare an inferred per-phase label-width form against the declared
+    one; {!eval_shape} instantiates it numerically. *)
+
 type row = {
   id : string;  (** protocol module basename, e.g. ["lr_sorting"] *)
   theorem : string;  (** e.g. ["Theorem 1.2"] *)
   family : string;  (** printable proof-size family, e.g. ["O(log log n)"] *)
   rounds : int;
   schedule : Dip.phase list;
-  envelope : n:int -> delta:int -> int;
+  shape : shape;
       (** claimed upper envelope on proof size in bits; [delta] is the
           maximum degree and only contributes to the Theorem 1.5 row *)
   floor : (int -> int) option;
@@ -33,6 +47,12 @@ val rows : row list
 
 val find : string -> row option
 (** Row lookup by protocol module basename. *)
+
+val eval_shape : shape -> n:int -> delta:int -> int
+(** Instantiates an envelope shape at a concrete instance size. *)
+
+val envelope : row -> n:int -> delta:int -> int
+(** [eval_shape r.shape]. *)
 
 val budget : row -> n:int -> delta:int -> Dip.budget
 (** Instantiates a row's envelope at a concrete instance size. *)

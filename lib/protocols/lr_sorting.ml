@@ -123,6 +123,8 @@ let bits_for x =
 let flag_code = function Left_of -> 0 | At_vb -> 1 | Right_of -> 2
 
 let r1_node_bits (pa : Params.t) l =
+  (* block = Theta(log n): a block index fits in loglog n + O(1) bits *)
+  (* dipp-refine: value <= loglog + 2 *)
   let wi = bits_for (2 * pa.Params.block) and wm = bits_for ((2 * pa.Params.block) + 1) in
   let w = Bits.Writer.create () in
   Bits.Writer.int w ~width:wi l.j;
@@ -134,6 +136,7 @@ let r1_node_bits (pa : Params.t) l =
   Bits.Writer.contents w
 
 let r1_arc_bits (pa : Params.t) l =
+  (* dipp-refine: value <= loglog + 2 *)
   let wi = bits_for (pa.Params.block + 1) in
   let w = Bits.Writer.create () in
   (match l with
@@ -146,10 +149,13 @@ let r1_arc_bits (pa : Params.t) l =
   Bits.Writer.contents w
 
 let r3_node_bits (pa : Params.t) l =
+  (* p = poly(block) = polylog(n): a field element fits in O(loglog n) bits *)
+  (* dipp-refine: value <= 3*loglog + 6 *)
   let wp = Fp.bit_width pa.Params.p in
   Bits.concat (List.map (Bits.of_int ~width:wp) [ l.r_e; l.rp_e; l.rb_e; l.pre1; l.pre2; l.f1; l.f2; l.prep ])
 
 let r5_node_bits (pa : Params.t) l =
+  (* dipp-refine: value <= 5*loglog + 12 *)
   let wq = Fp.bit_width pa.Params.p2 in
   Bits.concat (List.map (Bits.of_int ~width:wq) [ l.z_e; l.ph1; l.ph2; l.pt1; l.pt2 ])
 
@@ -552,6 +558,7 @@ let run ?(seed = 0) ?(c = 3) ?block ?(retain = false) ~prover inst =
           rb = (if is_leader v then Some (Fp.sample p (Rng.split rng (n + v))) else None);
         })
   in
+  (* dipp-refine: value <= 3*loglog + 6 *)
   let wp = Fp.bit_width p in
   Dip.record_verifier meter
     (Array.map

@@ -148,6 +148,7 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
       | Some (_ :: second :: _), _ -> leader.(second) <- true
       | _ -> ())
     comp_paths;
+  (* dipp-refine: width <= 10*loglog + 10 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat
@@ -189,6 +190,7 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   let sep_of v = if blk_of.(v) >= 0 then sep_tag blk_of.(v) else Bits.empty in
   let lead_of v = if blk_of.(v) >= 0 then lead_tag.(blk_of.(v)) else Bits.empty in
   let st_resp_bits = Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v -> Bits.concat [ st_resp_bits.(v); sep_of v; lead_of v ]));
 

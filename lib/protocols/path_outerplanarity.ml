@@ -233,6 +233,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
   in
   let r1_edge_assignment = Edge_labels.assign el ~width:4 r1_edge_bits in
   let el_setup = Edge_labels.setup_labels el in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat
@@ -299,6 +300,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
   in
   let r3_edges = Edge_labels.assign el ~width:r3_edge_width r3_edge_bits in
   let st_resp_bits = Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp in
+  (* dipp-refine: width <= 40*loglog + 40 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat [ st_resp_bits.(v); opt_pair_bits (above_of_node v); r3_edges.(v) ]));

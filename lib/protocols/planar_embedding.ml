@@ -113,12 +113,14 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   (* Round 1: commit T (Lemma 2.3). *)
   let enc = Forest_encoding.encode g ~parent in
   let cbits = Forest_encoding.color_bits enc in
+  (* dipp-refine: width <= 10*loglog + 10 *)
   Dip.record_prover meter (Array.map (Forest_encoding.to_bits ~cbits) enc);
   (* Rounds 2-3: certify T (Lemma 2.5). *)
   let reps = max 2 (nb / 2) in
   let st_coins = Spanning_tree_verify.draw_coins ~reps ~tag_bits:4 ~parent (Rng.split rng 3) in
   Dip.record_verifier meter (Spanning_tree_verify.coins_to_bits ~tag_bits:4 st_coins);
   let st_resp = Spanning_tree_verify.honest_response ~reps ~parent st_coins in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter (Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp);
   let children = Array.make n [] in
   Array.iteri (fun v p -> if p >= 0 then children.(p) <- v :: children.(p)) parent;

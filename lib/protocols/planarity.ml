@@ -41,6 +41,7 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   in
   let assignment = Edge_labels.assign el ~width:(2 * wd) edge_bits in
   let el_setup = Edge_labels.setup_labels el in
+  (* dipp-refine: width <= 16*loglog + 8*logdelta + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v -> Bits.concat [ el_setup.(v); assignment.(v) ]));
   (* Each node reconstructs its clockwise order from the rho values it can

@@ -105,6 +105,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
   let r1_edge e = Bits.of_bool (Hashtbl.mem connecting e) in
   let r1_edges = Edge_labels.assign el ~width:1 r1_edge in
   let el_setup = Edge_labels.setup_labels el in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat [ Forest_encoding.to_bits ~cbits enc.(v); el_setup.(v); r1_edges.(v) ]));
@@ -184,6 +185,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
     ears_arr;
   let r3_edge e = match Hashtbl.find_opt chord_host e with Some t -> t | None -> Bits.of_string (String.make nb '0') in
   let r3_edges = Edge_labels.assign el ~width:nb r3_edge in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat [ resp_bits.(v); ear_of v; pred_of v; r3_edges.(v) ]));

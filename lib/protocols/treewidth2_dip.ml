@@ -53,6 +53,7 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
     bc.Biconnectivity.components;
   let enc = Forest_encoding.encode g ~parent in
   let cbits = Forest_encoding.color_bits enc in
+  (* dipp-refine: width <= 10*loglog + 10 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
          Bits.concat [ Forest_encoding.to_bits ~cbits enc.(v); Bits.of_bool cut_bit.(v) ]));
@@ -77,6 +78,7 @@ let run ?(seed = 0) ?(c = 3) ?(retain = false) ~prover inst =
   in
   let tag_of v = if blk_of.(v) >= 0 then comp_tag blk_of.(v) else Bits.empty in
   let st_resp_bits = Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp in
+  (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter (Array.init n (fun v -> Bits.concat [ st_resp_bits.(v); tag_of v ]));
 
   (* per-component series-parallel runs *)

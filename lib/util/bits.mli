@@ -30,9 +30,20 @@ val to_int : t -> int
 (** Inverse of {!of_int}; requires [length <= 62]. *)
 
 val get : t -> int -> bool
-(** [get t i] is bit [i] (0-based from the start). *)
+(** [get t i] is bit [i] (0-based from the start).  Raises
+    [Invalid_argument] naming the index and length when out of range. *)
 
 val sub : t -> pos:int -> len:int -> t
+(** [sub t ~pos ~len] is bits [pos .. pos+len-1].  Raises
+    [Invalid_argument] naming the offending slice and the length when
+    the range is invalid. *)
+
+val unsafe_sub : t -> pos:int -> len:int -> t
+(** {!sub} without the range check.  Reserved for call sites the
+    [refine-index] pass of dipp-lint has proved in-bounds — any call
+    site the pass cannot verify is a lint finding.  Out-of-range reads
+    return garbage (the zero tail of the backing buffer) rather than
+    raising. *)
 
 val random : Rng.t -> int -> t
 (** [random rng len] draws [len] uniform bits. *)

@@ -43,6 +43,32 @@ let test_bits_reader_underflow () =
   Alcotest.check_raises "underflow" Bits.Reader.Underflow (fun () ->
       ignore (Bits.Reader.int r ~width:3))
 
+let test_bits_range_errors () =
+  (* the checked accessors name the offending index/slice and the length *)
+  let b = Bits.of_string "10110" in
+  Alcotest.check_raises "get past the end"
+    (Invalid_argument "Bits.get: index 5 out of range [0, 5)")
+    (fun () -> ignore (Bits.get b 5));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Bits.get: index -1 out of range [0, 5)")
+    (fun () -> ignore (Bits.get b (-1)));
+  Alcotest.check_raises "slice past the end"
+    (Invalid_argument "Bits.sub: slice [3, 3+4) out of range for length 5")
+    (fun () -> ignore (Bits.sub b ~pos:3 ~len:4));
+  Alcotest.check_raises "negative slice position"
+    (Invalid_argument "Bits.sub: slice [-1, -1+2) out of range for length 5")
+    (fun () -> ignore (Bits.sub b ~pos:(-1) ~len:2))
+
+let test_bits_unsafe_sub () =
+  (* in range, unsafe_sub agrees with sub; past the logical length it
+     reads zeroed padding without raising — hence the lint gate *)
+  let b = Bits.of_string "110010111" in
+  Alcotest.(check string) "in-range agrees with sub"
+    (Bits.to_string (Bits.sub b ~pos:2 ~len:4))
+    (Bits.to_string (Bits.unsafe_sub b ~pos:2 ~len:4));
+  Alcotest.(check string) "padding reads as zeros" "1110000"
+    (Bits.to_string (Bits.unsafe_sub b ~pos:6 ~len:7))
+
 let test_bits_equal () =
   Alcotest.(check bool) "equal" true (Bits.equal (Bits.of_string "101") (Bits.of_string "101"));
   Alcotest.(check bool) "length differs" false (Bits.equal (Bits.of_string "1010") (Bits.of_string "101"));
@@ -259,6 +285,8 @@ let () =
           Alcotest.test_case "sub" `Quick test_bits_sub;
           Alcotest.test_case "writer/reader" `Quick test_bits_writer_reader;
           Alcotest.test_case "reader underflow" `Quick test_bits_reader_underflow;
+          Alcotest.test_case "range errors" `Quick test_bits_range_errors;
+          Alcotest.test_case "unsafe_sub" `Quick test_bits_unsafe_sub;
           Alcotest.test_case "equal" `Quick test_bits_equal;
           qtest prop_bits_string_roundtrip;
           qtest prop_bits_int_roundtrip;
