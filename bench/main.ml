@@ -11,6 +11,7 @@
                                          engine soundness trials + trials_report.json
      dune exec bench/main.exe -- faults [--jobs N]
                                          fault-injection sweep + faults_report.json
+     dune exec bench/main.exe analysis  static-analyzer pass timings + BENCH_analysis.json
    Unknown commands or flags exit with code 2 and a usage message.
 
    Soundness loops (E2-E8) run on the deterministic multicore trial engine
@@ -763,6 +764,85 @@ let faults () =
   (* stdout only: the JSON stays byte-identical with the cache on or off *)
   print_endline (Label_cache.report ())
 
+(* Wall-clock for the four static passes (the full dipp-lint pipeline,
+   then dipp-flow / dipp-refine / dipp-race in isolation) over the lib
+   tree, written as BENCH_analysis.json (DIPP_ANALYSIS_OUT overrides the
+   path).  The per-pass finding counts double as a sanity check: the
+   full pipeline must report lib clean; the isolated passes report raw
+   counts, before suppression filtering. *)
+let analysis () =
+  header "ANALYSIS  static-analyzer pass timings over lib -> BENCH_analysis.json";
+  let module A = Dipp_analysis in
+  let rec ml_files acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
+      |> List.fold_left (fun acc name -> ml_files acc (Filename.concat path name)) acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  let files = List.rev (ml_files [] "lib") in
+  let parsed =
+    List.filter_map
+      (fun file ->
+        try
+          let src = In_channel.with_open_bin file In_channel.input_all in
+          Some (file, src, A.Ast_scan.parse_file file)
+        with _ -> None)
+      files
+  in
+  let program = A.Typed_scan.empty () in
+  List.iter
+    (fun (file, _, structure) ->
+      A.Typed_scan.add_structure ~file program ~modname:(A.Typed_scan.module_name file) structure)
+    parsed;
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    let findings = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-8s %8.3fs %5d finding(s)\n" name wall (List.length findings);
+    (name, wall, List.length findings)
+  in
+  (* bind each row before building the list: list literals evaluate
+     right-to-left, which would reverse the stdout lines *)
+  let lint = time "lint" (fun () -> A.Lint_rules.lint_tree "lib") in
+  let flow =
+    time "flow" (fun () ->
+        List.concat_map (fun (_, _, structure) -> A.Flow.check ~program structure) parsed)
+  in
+  let refine =
+    time "refine" (fun () ->
+        List.concat_map
+          (fun (file, src, structure) ->
+            let annots = A.Refine.annotations_of_source src in
+            A.Refine.check ~program ~annots ~filename:file structure)
+          parsed)
+  in
+  let race =
+    time "race" (fun () ->
+        List.concat_map
+          (fun (file, src, structure) ->
+            let annots = A.Race.annotations_of_source src in
+            A.Race.check ~program ~annots ~filename:file structure)
+          parsed)
+  in
+  let rows = [ lint; flow; refine; race ] in
+  let out =
+    match Sys.getenv_opt "DIPP_ANALYSIS_OUT" with Some p -> p | None -> "BENCH_analysis.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\"bench\": \"analysis\", \"tree\": \"lib\", \"files\": %d, \"passes\": ["
+    (List.length parsed);
+  List.iteri
+    (fun i (name, wall, n) ->
+      Printf.fprintf oc "%s\n  {\"pass\": \"%s\", \"wall_s\": %.6f, \"findings\": %d}"
+        (if i = 0 then "" else ",")
+        name wall n)
+    rows;
+  output_string oc "\n]}\n";
+  close_out oc;
+  Printf.printf "wrote %s: %d files, %d passes\n" out (List.length parsed) (List.length rows)
+
 (* The one command table: execution order, dispatch, and the usage text
    all come from this list, so a new experiment needs exactly one row. *)
 let commands =
@@ -784,6 +864,7 @@ let commands =
     ("bounds", "claim-vs-measured bounds_report.json", bounds);
     ("trials", "engine soundness trials -> trials_report.json", trials);
     ("faults", "fault-injection sweep -> faults_report.json", faults);
+    ("analysis", "static-analyzer pass timings -> BENCH_analysis.json", analysis);
   ]
 
 let find_command p =

@@ -1,6 +1,7 @@
 (* dipp-lint: static DIP-model-compliance and hygiene analyzer.
 
-   Usage: dipp_lint [--rules r1,r2] [--list-rules] [--format text|json|sarif] [path ...]
+   Usage: dipp_lint [--rules r1,r2] [--list-rules] [--refine-safe] [--race-safe]
+                    [--format text|json|sarif] [path ...]
 
    Paths may be .ml files or directories (scanned recursively); the
    default is ./lib.  Exit codes: 0 clean, 1 findings, 2 usage/IO error

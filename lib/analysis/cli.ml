@@ -26,7 +26,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let print_safes out roots =
+let index_tree roots =
   let files = List.rev (List.fold_left ml_files [] roots) in
   let program = Typed_scan.empty () in
   List.iter
@@ -36,6 +36,10 @@ let print_safes out roots =
           Typed_scan.add_structure ~file program ~modname:(Typed_scan.module_name file) structure
       | exception _ -> ())
     files;
+  (files, program)
+
+let print_safes out roots =
+  let files, program = index_tree roots in
   let total = ref 0 in
   List.iter
     (fun file ->
@@ -52,9 +56,29 @@ let print_safes out roots =
     files;
   Format.fprintf out "%d subscript(s) proved safe@." !total
 
+(* The [--race-safe] report: every shared-state site the domain-safety
+   pass proved (or trusts) safe, with its proof. *)
+let print_race_safes out roots =
+  let files, program = index_tree roots in
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      match Ast_scan.parse_file file with
+      | exception _ -> ()
+      | structure ->
+          let annots = Race.annotations_of_source (read_file file) in
+          let result = Race.analyze ~program ~annots ~filename:file structure in
+          List.iter
+            (fun (s : Race.safe) ->
+              incr total;
+              Format.fprintf out "%s:%d:%d: [race-safe] %s@." s.rfile s.rline s.rcol s.rdesc)
+            result.safe)
+    files;
+  Format.fprintf out "%d shared-state site(s) proved safe@." !total
+
 let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
   let paths = ref [] and selected = ref [] and list_rules = ref false in
-  let refine_safe = ref false in
+  let refine_safe = ref false and race_safe = ref false in
   let format = ref Text in
   let spec =
     [
@@ -65,6 +89,9 @@ let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
       ( "--refine-safe",
         Arg.Set refine_safe,
         " print the subscripts the refinement pass proved in bounds and exit" );
+      ( "--race-safe",
+        Arg.Set race_safe,
+        " print the shared-state sites the domain-safety pass proved safe and exit" );
       ( "--format",
         Arg.Symbol
           ( [ "text"; "json"; "sarif" ],
@@ -104,6 +131,9 @@ let run ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
                 2
             | None when !refine_safe ->
                 print_safes out roots;
+                0
+            | None when !race_safe ->
+                print_race_safes out roots;
                 0
             | None -> (
                 let findings =

@@ -67,6 +67,33 @@ let rules =
         "every (* dipp-refine: ... *) annotation must parse as `width <= FORM` or `value <= \
          FORM`; a malformed bound would silently assert nothing";
     };
+    {
+      id = Race.rule_shared;
+      summary =
+        "every mutable location domains can share (module-level, or captured by a closure \
+         submitted to Pool.run/Pool.map/Domain.spawn) must be Atomic, accessed under one \
+         consistent Mutex, or provably domain-local; trusted dipp-race annotations are \
+         validated, not assumed";
+    };
+    {
+      id = Race.rule_lock;
+      summary =
+        "exactly one guarding mutex per shared location, mutexes acquired in one global order \
+         (no cycles, no re-entry), and no lock held across a Pool/Domain submission";
+    };
+    {
+      id = Race.rule_determinism;
+      summary =
+        "shared accumulators mutated from pooled tasks only through the commutative/associative \
+         Dip.merge_* algebra; order-dependent writes (list cons, Buffer.add_*, blind overwrites, \
+         printing to a shared channel) are findings even under a lock";
+    };
+    {
+      id = Race.rule_rng;
+      summary =
+        "an Rng stream captured by a pooled closure may only parent Rng.split/Rng.split_string \
+         keyed by the task's own (seed, id, index); draws from a shared stream race on its state";
+    };
     { id = "missing-mli"; summary = "every library module ships a .mli interface" };
     { id = "parse-error"; summary = "the file must parse with the project's compiler" };
     {
@@ -263,7 +290,12 @@ let ast_findings ?program ~filename src =
             ?declared:(refine_declared filename)
             ~filename structure
       in
-      Locality.check structure @ Flow.check ?program structure @ budget @ refine
+      let rannots = Race.annotations_of_source src in
+      let race =
+        Race.annotation_findings ~filename rannots
+        @ Race.check ?program ~annots:rannots ~filename structure
+      in
+      Locality.check structure @ Flow.check ?program structure @ budget @ refine @ race
       @ hygiene ~filename structure
   | exception exn -> [ parse_error_finding ~filename exn ]
 

@@ -1,5 +1,7 @@
 let clamp_jobs j = if j < 1 then 1 else if j > 64 then 64 else j
 
+(* Written only by [default_jobs], i.e. on the caller's own domain before
+   any worker is spawned.  (* dipp-race: domain-local *) *)
 let warned_invalid_jobs = ref false
 
 let warn_invalid_jobs s =

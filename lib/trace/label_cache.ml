@@ -6,17 +6,22 @@
    would have computed — consumers stay byte-identical with the cache on
    or off; only the hit/miss counters (reported to stdout, never to the
    JSON records) reveal it was there.  The table is process-wide and
-   mutex-guarded: the trial engine's worker domains share it. *)
+   mutex-guarded: the trial engine's worker domains share it.
+
+   The counters are deliberately *derived*, not event-counted.  Under
+   DIPP_JOBS>1 two domains can both miss the same fresh key and both run
+   the closure; per-event hit/miss increments would then depend on the
+   schedule, and the stdout report would vary run to run.  Instead we
+   keep one atomic lookup total and derive
+     misses = distinct keys in the table, hits = lookups - misses,
+   both pure functions of the work set — the report line is identical
+   for every DIPP_JOBS value. *)
 
 type outcome = Dip.verdict * Dip.stats
 
-type entry = { outcome : outcome; fill_s : float }
-
-let table : (string, entry) Hashtbl.t = Hashtbl.create 256
+let table : (string, outcome) Hashtbl.t = Hashtbl.create 256
 let lock = Mutex.create ()
-let hits = Atomic.make 0
-let misses = Atomic.make 0
-let saved = Atomic.make 0  (* microseconds, to stay in Atomic's int domain *)
+let lookups = Atomic.make 0
 
 let enabled () =
   match Sys.getenv_opt "DIPP_LABEL_CACHE" with Some "0" -> false | Some _ | None -> true
@@ -39,48 +44,46 @@ let lr_key (inst : Lr_sorting.instance) =
 let find_or_run ~key f =
   if not (enabled ()) then f ()
   else begin
+    Atomic.incr lookups;
     Mutex.lock lock;
     let cached = Hashtbl.find_opt table key in
     Mutex.unlock lock;
     match cached with
-    | Some e ->
-        Atomic.incr hits;
-        ignore (Atomic.fetch_and_add saved (int_of_float (e.fill_s *. 1e6)));
-        e.outcome
+    | Some outcome -> outcome
     | None ->
-        let t0 = Unix.gettimeofday () in
         let outcome = f () in
-        let fill_s = Unix.gettimeofday () -. t0 in
         Mutex.lock lock;
         (* a racing domain may have filled the slot meanwhile; both computed
-           the same pure value, so either write is fine *)
-        Hashtbl.replace table key { outcome; fill_s };
+           the same pure value, so either write is fine — and the derived
+           counters collapse the duplicate miss *)
+        Hashtbl.replace table key outcome;
         Mutex.unlock lock;
-        Atomic.incr misses;
         outcome
   end
 
-let stats () = (Atomic.get hits, Atomic.get misses)
+let stats () =
+  let l = Atomic.get lookups in
+  Mutex.lock lock;
+  let distinct = Hashtbl.length table in
+  Mutex.unlock lock;
+  let m = min distinct l in
+  (l - m, m)
 
 let hit_rate () =
   let h, m = stats () in
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
-let saved_s () = float_of_int (Atomic.get saved) /. 1e6
-
 let reset () =
   Mutex.lock lock;
   Hashtbl.reset table;
   Mutex.unlock lock;
-  Atomic.set hits 0;
-  Atomic.set misses 0;
-  Atomic.set saved 0
+  Atomic.set lookups 0
 
 let report () =
   if not (enabled ()) then "label-cache: disabled (DIPP_LABEL_CACHE=0)"
   else
     let h, m = stats () in
-    Printf.sprintf "label-cache: %d hits / %d lookups (%.1f%% hit rate), ~%.2fs recompute saved" h
+    Printf.sprintf "label-cache: %d hits / %d lookups (%.1f%% hit rate), %d distinct key(s)" h
       (h + m)
       (100. *. hit_rate ())
-      (saved_s ())
+      m

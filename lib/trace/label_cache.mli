@@ -6,7 +6,10 @@
     would have computed: every consumer (the trial engine, the fault
     sweep) emits byte-identical reports with the cache on or off.  Hit
     statistics are reported to stdout only, never written into the JSON
-    records (ANALYSIS.md determinism contract).
+    records (ANALYSIS.md determinism contract) — and they are {e derived}
+    (hits = lookups − distinct keys) rather than event-counted, so the
+    stdout report is itself deterministic w.r.t. [DIPP_JOBS]: a racing
+    duplicate miss does not skew the counts.
 
     [DIPP_LABEL_CACHE=0] disables the cache (every lookup runs the
     closure and nothing is stored).  The table is process-wide and safe
@@ -32,14 +35,15 @@ val find_or_run : key:string -> (unit -> Dip.verdict * Dip.stats) -> Dip.verdict
     the cache is disabled, always runs the closure. *)
 
 val stats : unit -> int * int
-(** [(hits, misses)] since the last {!reset}. *)
+(** [(hits, misses)] since the last {!reset}, derived as
+    [(lookups - distinct, distinct)] where [distinct] is the number of
+    keys in the table — a pure function of the work set, independent of
+    how lookups interleaved across domains. *)
 
 val hit_rate : unit -> float
-val saved_s : unit -> float
-(** Estimated wall-clock saved: the sum over hits of the original fill
-    time of the entry hit. *)
 
 val reset : unit -> unit
+
 val report : unit -> string
-(** One stdout-ready line: hits/lookups, hit rate, estimated time saved
+(** One stdout-ready line: hits/lookups, hit rate, distinct key count
     (or a note that the cache is disabled). *)
