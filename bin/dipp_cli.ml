@@ -9,7 +9,8 @@
      dipp lower-bound -n 1024
      dipp record -e E3 -s 7 -o E3.trace
      dipp replay E3.trace
-     dipp audit E3.trace other.trace *)
+     dipp audit E3.trace other.trace
+     dipp serve requests.txt --jobs 4 --codec flat *)
 
 open Dipp
 open Cmdliner
@@ -319,6 +320,71 @@ let audit_cmd =
     (Cmd.info "audit" ~doc:"Byte-compare two transcripts and report the first divergence.")
     Term.(const run $ trace_file_arg 0 "FILE_A" $ trace_file_arg 1 "FILE_B")
 
+(* ---- serve (batched verification service) ---------------------------------------- *)
+
+let serve_cmd =
+  let stream_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"STREAM"
+          ~doc:"Request stream (text or binary, auto-detected); `-' or omitted reads stdin.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker-domain count (default: \\$(b,DIPP_JOBS) or the machine's core count).")
+  in
+  let codec_arg =
+    Arg.(
+      value
+      & opt (enum [ ("checked", Bits_flat.Checked); ("flat", Bits_flat.Flat) ]) Bits_flat.Checked
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:
+            "Label codec: checked (the Bits.Writer reference path) or flat (preallocated \
+             buffers).  Both produce byte-identical responses.")
+  in
+  let run stream jobs codec =
+    let input =
+      match stream with
+      | None | Some "-" -> In_channel.input_all stdin
+      | Some path -> In_channel.with_open_bin path In_channel.input_all
+    in
+    match Serve.parse_requests input with
+    | Error msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 2
+    | Ok reqs -> (
+        let t0 = Unix.gettimeofday () in
+        match Serve.execute ?jobs ~codec reqs with
+        | exception Serve.Bad_request msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            exit 2
+        | out ->
+            let wall = Unix.gettimeofday () -. t0 in
+            (* stdout carries only the deterministic response log + digest:
+               byte-identical for every --jobs/--codec/cache setting.
+               Timing and cache statistics go to stderr. *)
+            let log = Serve.response_log out in
+            Array.iter print_endline log;
+            Printf.printf "digest: %s\n" (Serve.log_digest log);
+            let p50, p99 = Serve.latency_percentiles out in
+            Printf.eprintf "served %d request(s) in %.3fs (%.1f req/s), p50=%.3fms p99=%.3fms\n"
+              (Array.length out) wall
+              (float_of_int (Array.length out) /. wall)
+              (p50 *. 1e3) (p99 *. 1e3);
+            Printf.eprintf "%s\n%s\n" (Serve.Prepared_cache.report ()) (Label_cache.report ());
+            if Array.exists (fun o -> not o.Serve.response.Serve.accepted) out then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer a stream of verification requests at maximum throughput (instances and honest \
+          runs cached, batches fanned over the domain pool).")
+    Term.(const run $ stream_arg $ jobs_arg $ codec_arg)
+
 (* ---- lower-bound --------------------------------------------------------------- *)
 
 let lb_cmd =
@@ -342,4 +408,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd; record_cmd; replay_cmd; audit_cmd ]))
+          [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd; record_cmd; replay_cmd; audit_cmd; serve_cmd ]))

@@ -7,6 +7,7 @@
 
 (* utilities *)
 module Bits = Dipp_util.Bits
+module Bits_flat = Dipp_util.Bits_flat
 module Rng = Dipp_util.Rng
 module Prime = Dipp_util.Prime
 module Fp = Dipp_util.Fp
@@ -60,6 +61,7 @@ module Fault_sweep = Dipp_engine.Fault_sweep
 (* transcripts: record/replay + label cache *)
 module Trace = Dipp_trace.Trace
 module Label_cache = Dipp_trace.Label_cache
+module Serve = Dipp_serve.Serve
 module Trace_registry = Dipp_trace.Registry
 
 (* baselines + lower bound *)

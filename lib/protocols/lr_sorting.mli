@@ -66,13 +66,29 @@ type result = {
   transcript : (Dip.phase * Bits.t array) list;  (** non-empty iff [retain] *)
 }
 
-val run : ?seed:int -> ?c:int -> ?block:int -> ?retain:bool -> prover:prover -> instance -> result
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?block:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
 (** Executes the 5-round protocol.  [Honest] on a yes-instance always
     accepts (perfect completeness); on a no-instance every prover strategy
-    is rejected with probability 1 - 1/polylog n. *)
+    is rejected with probability 1 - 1/polylog n.  [codec] selects the
+    label serializer: the checked {!Bits.Writer} reference path (default)
+    or the flat preallocated-buffer path — both produce byte-identical
+    labels. *)
 
 val replay :
-  ?c:int -> ?block:int -> instance -> (Dip.phase * Bits.t array) list -> (Dip.verdict, string) Stdlib.result
+  ?c:int ->
+  ?block:int ->
+  ?codec:Bits_flat.codec ->
+  instance ->
+  (Dip.phase * Bits.t array) list ->
+  (Dip.verdict, string) Stdlib.result
 (** Decision-only replay: decodes the five recorded frames (node labels,
     arc labels, coins) with strict inverses of the label serializers and
     re-runs {e only} the per-node decision function — no prover work, no

@@ -78,7 +78,7 @@ let path_parents ~n path =
   List.iteri (fun i v -> if i > 0 then parent.(v) <- List.nth path (i - 1)) path;
   parent
 
-let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
+let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ?(codec = Bits_flat.Checked) ~prover inst =
   let g = inst.graph in
   let n = Graph.n g in
   if n = 0 then invalid_arg "Path_outerplanarity.run: empty graph";
@@ -231,19 +231,48 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
     Bits.Writer.bool w (marked_head_longest e);
     Bits.Writer.contents w
   in
-  let r1_edge_assignment = Edge_labels.assign el ~width:4 r1_edge_bits in
+  let r1_edge_bits_flat e =
+    let u, _ = e in
+    let tail, _ = try Edge_map.find e orientation with Not_found -> (u, u) in
+    let fb = Bits_flat.Enc.create 4 in
+    Bits_flat.Enc.bool fb (is_path_edge (fst e) (snd e));
+    Bits_flat.Enc.bool fb (tail = fst e);
+    Bits_flat.Enc.bool fb (marked_tail_longest e);
+    Bits_flat.Enc.bool fb (marked_head_longest e);
+    Bits_flat.Enc.to_bits fb
+  in
+  let r1_edge_assignment =
+    Edge_labels.assign el ~width:4 (fun e ->
+        match codec with
+        | Bits_flat.Checked -> r1_edge_bits e
+        | Bits_flat.Flat -> r1_edge_bits_flat e)
+  in
   let el_setup = Edge_labels.setup_labels el in
+  let r1_node_checked v =
+    Bits.concat
+      [
+        Forest_encoding.to_bits ~cbits enc.(v);
+        Bits.of_bool has_left.(v);
+        Bits.of_bool has_right.(v);
+        el_setup.(v);
+        r1_edge_assignment.(v);
+      ]
+  in
+  let r1_node_flat v =
+    let fb = Bits_flat.Enc.create 64 in
+    Bits_flat.Enc.bits fb (Forest_encoding.to_bits ~cbits enc.(v));
+    Bits_flat.Enc.bool fb has_left.(v);
+    Bits_flat.Enc.bool fb has_right.(v);
+    Bits_flat.Enc.bits fb el_setup.(v);
+    Bits_flat.Enc.bits fb r1_edge_assignment.(v);
+    Bits_flat.Enc.to_bits fb
+  in
   (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
-         Bits.concat
-           [
-             Forest_encoding.to_bits ~cbits enc.(v);
-             Bits.of_bool has_left.(v);
-             Bits.of_bool has_right.(v);
-             el_setup.(v);
-             r1_edge_assignment.(v);
-           ]));
+         match codec with
+         | Bits_flat.Checked -> r1_node_checked v
+         | Bits_flat.Flat -> r1_node_flat v));
 
   (* -------- Round 2 (verifier): ST coins + name strings -------------- *)
   let reps = max 2 (nb / 2) in
@@ -292,18 +321,53 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
     | None -> Bits.concat [ Bits.of_bool false; Bits.of_string (String.make (2 * nb) '0') ]
     | Some (a, b) -> Bits.concat [ Bits.of_bool true; a; b ]
   in
+  let zero_pair_pad = Bits.of_string (String.make (2 * nb) '0') in
+  let opt_pair_flat fb = function
+    | None ->
+        Bits_flat.Enc.bool fb false;
+        Bits_flat.Enc.bits fb zero_pair_pad
+    | Some (a, b) ->
+        Bits_flat.Enc.bool fb true;
+        Bits_flat.Enc.bits fb a;
+        Bits_flat.Enc.bits fb b
+  in
   let r3_edge_width = (2 * nb) + 1 + (2 * nb) in
   let r3_edge_bits e =
     match Edge_map.find_opt e edge_info with
     | Some d -> Bits.concat [ fst d.name; snd d.name; opt_pair_bits d.succ ]
     | None -> Bits.of_string (String.make r3_edge_width '0')
   in
-  let r3_edges = Edge_labels.assign el ~width:r3_edge_width r3_edge_bits in
+  let r3_edge_bits_flat e =
+    match Edge_map.find_opt e edge_info with
+    | Some d ->
+        let fb = Bits_flat.Enc.create r3_edge_width in
+        Bits_flat.Enc.bits fb (fst d.name);
+        Bits_flat.Enc.bits fb (snd d.name);
+        opt_pair_flat fb d.succ;
+        Bits_flat.Enc.to_bits fb
+    | None -> Bits.of_string (String.make r3_edge_width '0')
+  in
+  let r3_edges =
+    Edge_labels.assign el ~width:r3_edge_width (fun e ->
+        match codec with
+        | Bits_flat.Checked -> r3_edge_bits e
+        | Bits_flat.Flat -> r3_edge_bits_flat e)
+  in
   let st_resp_bits = Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp in
+  let r3_node_flat v =
+    let fb = Bits_flat.Enc.create 64 in
+    Bits_flat.Enc.bits fb st_resp_bits.(v);
+    opt_pair_flat fb (above_of_node v);
+    Bits_flat.Enc.bits fb r3_edges.(v);
+    Bits_flat.Enc.to_bits fb
+  in
   (* dipp-refine: width <= 40*loglog + 40 *)
   Dip.record_prover meter
     (Array.init n (fun v ->
-         Bits.concat [ st_resp_bits.(v); opt_pair_bits (above_of_node v); r3_edges.(v) ]));
+         match codec with
+         | Bits_flat.Checked ->
+             Bits.concat [ st_resp_bits.(v); opt_pair_bits (above_of_node v); r3_edges.(v) ]
+         | Bits_flat.Flat -> r3_node_flat v));
 
   (* -------- LR-sorting sub-protocol (rounds 1-5, parallel) ----------- *)
   let lr_result =
@@ -312,7 +376,7 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ~prover inst =
     | Some p ->
         let arcs = List.map (fun e -> Edge_map.find e orientation) nonpath_edges in
         let lr_inst = { Lr_sorting.n; path = Array.of_list p; arcs } in
-        Some (Lr_sorting.run ~seed:(seed + 7) ~c ~prover:Lr_sorting.Honest lr_inst)
+        Some (Lr_sorting.run ~seed:(seed + 7) ~c ~codec ~prover:Lr_sorting.Honest lr_inst)
   in
 
   (* -------- Verification --------------------------------------------- *)

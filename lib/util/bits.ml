@@ -77,6 +77,11 @@ let sub t ~pos ~len =
       (Printf.sprintf "Bits.sub: slice [%d, %d+%d) out of range for length %d" pos pos len t.len);
   unsafe_sub t ~pos ~len
 
+(* Aliasing view, not a copy: callers must treat the result as read-only or
+   structural equality of the source bitstring silently breaks.  Exists so
+   the flat codec (Bits_flat) can decode without re-copying the buffer. *)
+let unsafe_data t = t.data
+
 let random rng len = init len (fun _ -> Rng.bool rng)
 
 let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')

@@ -45,6 +45,12 @@ val unsafe_sub : t -> pos:int -> len:int -> t
     return garbage (the zero tail of the backing buffer) rather than
     raising. *)
 
+val unsafe_data : t -> bytes
+(** The backing byte buffer itself — an aliasing view, not a copy.  Callers
+    must treat it as read-only; mutating it breaks the structural-equality
+    invariant (zeroed tail bits).  Exists so {!Bits_flat} can decode labels
+    without copying. *)
+
 val random : Rng.t -> int -> t
 (** [random rng len] draws [len] uniform bits. *)
 

@@ -1,0 +1,150 @@
+(* Flat label codec: encode/decode against a preallocated byte buffer with
+   raw index arithmetic, instead of building a Bits.t value per field the
+   way Bits.Writer/Bits.Reader do.  The bit layout is identical to Bits —
+   bit [i] in byte [i lsr 3], mask [1 lsl (i land 7)], integer fields
+   MSB-first across positions — so [Enc.to_bits] is byte-for-byte equal to
+   the checked writer's [contents] and [Dec] accepts any checked-written
+   label.  The checked path stays the reference implementation; the
+   differential suite in test_serve.ml holds the two together. *)
+
+type codec = Checked | Flat
+
+let codec_of_string = function
+  | "checked" -> Some Checked
+  | "flat" -> Some Flat
+  | _ -> None
+
+let codec_name = function Checked -> "checked" | Flat -> "flat"
+
+module Enc = struct
+  type t = { mutable len : int; mutable data : Bytes.t }
+
+  let create cap =
+    let cap = if cap < 1 then 1 else cap in
+    { len = 0; data = Bytes.make ((cap + 7) / 8) '\000' }
+
+  let length e = e.len
+
+  (* Reset without re-zeroing the whole buffer: only bits < len were ever
+     set, and set_bit below writes both 0 and 1, so stale bytes beyond the
+     new cursor are re-written before they are ever read. *)
+  let reset e = e.len <- 0
+
+  let grow e need =
+    let cur = Bytes.length e.data in
+    if need > cur * 8 then begin
+      let nbytes = ref (if cur = 0 then 1 else cur) in
+      while need > !nbytes * 8 do
+        nbytes := !nbytes * 2
+      done;
+      let data = Bytes.make !nbytes '\000' in
+      Bytes.blit e.data 0 data 0 cur;
+      e.data <- data
+    end
+
+  (* Unconditional write of bit [i]: clears then sets, so a reset encoder
+     reuses its buffer without a zero-fill pass. *)
+  let set_bit e i b =
+    let j = i lsr 3 in
+    let mask = 1 lsl (i land 7) in
+    let c = Char.code (Bytes.unsafe_get e.data j) in
+    let c = if b then c lor mask else c land lnot mask in
+    Bytes.unsafe_set e.data j (Char.unsafe_chr c)
+
+  let bool e b =
+    grow e (e.len + 1);
+    set_bit e e.len b;
+    e.len <- e.len + 1
+
+  let int e ~width v =
+    if width < 0 || width > 62 then invalid_arg "Bits_flat.Enc.int: width";
+    if v < 0 || (width < 62 && v lsr width <> 0) then invalid_arg "Bits_flat.Enc.int: value";
+    grow e (e.len + width);
+    for k = 0 to width - 1 do
+      set_bit e (e.len + k) ((v lsr (width - 1 - k)) land 1 = 1)
+    done;
+    e.len <- e.len + width
+
+  let bits e b =
+    let n = Bits.length b in
+    grow e (e.len + n);
+    let src = Bits.unsafe_data b in
+    for k = 0 to n - 1 do
+      set_bit e (e.len + k)
+        (Char.code (Bytes.unsafe_get src (k lsr 3)) land (1 lsl (k land 7)) <> 0)
+    done;
+    e.len <- e.len + n
+
+  let to_bits e =
+    let nbytes = (e.len + 7) / 8 in
+    (* Bits.of_bytes re-zeroes the tail bits, restoring the structural-
+       equality invariant that reset-and-reuse may have dirtied. *)
+    Bits.of_bytes ~len:e.len (Bytes.sub e.data 0 nbytes)
+end
+
+module Dec = struct
+  type t = { src : Bits.t; len : int; data : Bytes.t; mutable pos : int }
+
+  (* [data] aliases the source bitstring's buffer (Bits.unsafe_data) and is
+     only ever read; [len] bounds every access, so the byte reads below can
+     skip their own checks. *)
+  let of_bits b = { src = b; len = Bits.length b; data = Bits.unsafe_data b; pos = 0 }
+
+  let remaining d = d.len - d.pos
+
+  let bit d i =
+    Char.code (Bytes.unsafe_get d.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let bool d =
+    if d.pos >= d.len then raise Bits.Reader.Underflow;
+    let b = bit d d.pos in
+    d.pos <- d.pos + 1;
+    b
+
+  let int d ~width =
+    if width < 0 || width > remaining d then raise Bits.Reader.Underflow;
+    let v = ref 0 in
+    for k = 0 to width - 1 do
+      v := (!v lsl 1) lor (if bit d (d.pos + k) then 1 else 0)
+    done;
+    d.pos <- d.pos + width;
+    !v
+
+  let bits d ~len =
+    if len < 0 || len > remaining d then raise Bits.Reader.Underflow;
+    let b = Bits.sub d.src ~pos:d.pos ~len in
+    d.pos <- d.pos + len;
+    b
+end
+
+let read_int b ~pos ~width =
+  let len = Bits.length b in
+  if pos < 0 || width < 0 || width > 62 || pos + width > len then
+    invalid_arg
+      (Printf.sprintf "Bits_flat.read_int: slice [%d, %d+%d) out of range for length %d" pos pos
+         width len);
+  let data = Bits.unsafe_data b in
+  let v = ref 0 in
+  for k = 0 to width - 1 do
+    let i = pos + k in
+    v :=
+      (!v lsl 1)
+      lor (Char.code (Bytes.unsafe_get data (i lsr 3)) lsr (i land 7) land 1)
+  done;
+  !v
+
+(* No range check: like Bits.unsafe_sub, reserved for call sites the
+   refine-index pass has proved in-bounds — an unverified call site is a
+   lint finding.  Out-of-range bit indices read whatever the backing
+   buffer holds (including past its end: a crash), which is why the gate
+   is static. *)
+let unsafe_int b ~pos ~width =
+  let data = Bits.unsafe_data b in
+  let v = ref 0 in
+  for k = 0 to width - 1 do
+    let i = pos + k in
+    v :=
+      (!v lsl 1)
+      lor (Char.code (Bytes.unsafe_get data (i lsr 3)) lsr (i land 7) land 1)
+  done;
+  !v

@@ -1,0 +1,71 @@
+(** Flat label codec: the allocation-free counterpart of {!Bits.Writer} /
+    {!Bits.Reader}.
+
+    Encoding appends fields into one preallocated byte buffer with raw
+    index arithmetic; decoding walks a bit cursor over the source
+    bitstring's backing bytes.  The bit layout matches {!Bits} exactly, so
+    [Enc.to_bits] equals the checked writer's output byte for byte, and
+    [Dec] reads any checked-written label.  The checked path remains the
+    reference implementation; test_serve.ml holds the two together
+    differentially. *)
+
+type codec = Checked | Flat
+(** Which label codec a protocol run uses.  [Checked] is the reference
+    {!Bits.Writer}/{!Bits.Reader} path; [Flat] is this module. *)
+
+val codec_of_string : string -> codec option
+(** ["checked"] / ["flat"]. *)
+
+val codec_name : codec -> string
+
+module Enc : sig
+  type t
+
+  val create : int -> t
+  (** [create cap] preallocates for [cap] bits.  The buffer grows by
+      doubling if exceeded, so [cap] is a sizing hint, not a limit. *)
+
+  val reset : t -> unit
+  (** Rewind to empty for buffer reuse; O(1), no zero-fill. *)
+
+  val bool : t -> bool -> unit
+
+  val int : t -> width:int -> int -> unit
+  (** Same contract as {!Bits.of_int}: requires [0 <= v < 2^width] and
+      [0 <= width <= 62]; raises [Invalid_argument] otherwise. *)
+
+  val bits : t -> Bits.t -> unit
+  (** Append an existing bitstring. *)
+
+  val length : t -> int
+  (** Bits written since creation or the last {!reset}. *)
+
+  val to_bits : t -> Bits.t
+  (** Snapshot the written prefix as an immutable bitstring (copies). *)
+end
+
+module Dec : sig
+  type t
+
+  val of_bits : Bits.t -> t
+  (** Zero-copy: the decoder aliases the bitstring's backing buffer. *)
+
+  val bool : t -> bool
+  val int : t -> width:int -> int
+  val bits : t -> len:int -> Bits.t
+
+  val remaining : t -> int
+  (** All reads raise {!Bits.Reader.Underflow} past the end, like the
+      checked reader — verifiers treat that as a malformed label. *)
+end
+
+val read_int : Bits.t -> pos:int -> width:int -> int
+(** Random-access field read.  Raises [Invalid_argument] naming the
+    offending slice and the length when [pos, pos+width) is out of range
+    (same shape as the {!Bits.sub} message). *)
+
+val unsafe_int : Bits.t -> pos:int -> width:int -> int
+(** {!read_int} without the range check.  Reserved for call sites the
+    [refine-index] pass of dipp-lint has proved in-bounds — any call site
+    the pass cannot verify is a lint finding.  Out-of-range positions read
+    garbage or crash rather than raising. *)

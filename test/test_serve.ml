@@ -1,0 +1,376 @@
+(* The batched verification service and its flat label codec: differential
+   flat-vs-checked equality (QCheck programs, envelope widths, the pinned
+   transcript corpus, full serve streams), response-log determinism across
+   DIPP_JOBS and cache settings against the committed golden stream,
+   malformed-request rejection, and the prepared-instance cache's
+   schedule-independent eviction boundary. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- flat codec vs checked Writer/Reader ------------------------------ *)
+
+(* a random "program" of int fields; both serializers must agree bit for
+   bit, and both decoders must read the same values back *)
+let field_program =
+  QCheck.(
+    list_of_size Gen.(int_range 1 24)
+      (pair (int_range 0 62) (map abs int)))
+
+let values_of fields = List.map (fun (w, v) -> (w, if w = 0 then 0 else v land ((1 lsl w) - 1))) fields
+
+let prop_flat_encoder_matches_writer =
+  QCheck.Test.make ~name:"serve: flat encoder agrees with Bits.Writer" ~count:200 field_program
+    (fun fields ->
+      let fields = values_of fields in
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.int w ~width v) fields;
+      let checked = Bits.Writer.contents w in
+      let e = Bits_flat.Enc.create 16 in
+      List.iter (fun (width, v) -> Bits_flat.Enc.int e ~width v) fields;
+      Bits.equal checked (Bits_flat.Enc.to_bits e))
+
+let prop_flat_decoder_matches_reader =
+  QCheck.Test.make ~name:"serve: flat decoder agrees with Bits.Reader" ~count:200 field_program
+    (fun fields ->
+      let fields = values_of fields in
+      let w = Bits.Writer.create () in
+      List.iter (fun (width, v) -> Bits.Writer.int w ~width v) fields;
+      let b = Bits.Writer.contents w in
+      let r = Bits.Reader.of_bits b in
+      let d = Bits_flat.Dec.of_bits b in
+      List.for_all
+        (fun (width, v) ->
+          let rv = Bits.Reader.int r ~width and dv = Bits_flat.Dec.int d ~width in
+          rv = v && dv = v)
+        fields
+      && Bits.Reader.remaining r = 0
+      && Bits_flat.Dec.remaining d = 0)
+
+let prop_flat_reset_reuse =
+  (* reuse after reset must not leak bits from the previous encoding *)
+  QCheck.Test.make ~name:"serve: flat encoder reset reuses the buffer cleanly" ~count:100
+    QCheck.(pair field_program field_program)
+    (fun (a, b) ->
+      let a = values_of a and b = values_of b in
+      let encode_fresh fields =
+        let e = Bits_flat.Enc.create 16 in
+        List.iter (fun (width, v) -> Bits_flat.Enc.int e ~width v) fields;
+        Bits_flat.Enc.to_bits e
+      in
+      let e = Bits_flat.Enc.create 16 in
+      List.iter (fun (width, v) -> Bits_flat.Enc.int e ~width v) a;
+      ignore (Bits_flat.Enc.to_bits e);
+      Bits_flat.Enc.reset e;
+      List.iter (fun (width, v) -> Bits_flat.Enc.int e ~width v) b;
+      Bits.equal (encode_fresh b) (Bits_flat.Enc.to_bits e))
+
+let test_envelope_width_roundtrips () =
+  (* the width a label needs to meet each family's registry envelope, at a
+     spread of sizes: encode/decode the boundary values at exactly those
+     widths through both codecs *)
+  let bits_for v =
+    let rec go w = if v lsr w = 0 then w else go (w + 1) in
+    max 1 (go 0)
+  in
+  List.iter
+    (fun row_id ->
+      match Bounds.find row_id with
+      | None -> Alcotest.fail ("no bounds row " ^ row_id)
+      | Some row ->
+          List.iter
+            (fun n ->
+              let env = Bounds.envelope row ~n ~delta:(max 2 (n - 1)) in
+              let width = min 62 (bits_for env) in
+              let mask = if width = 62 then max_int else (1 lsl width) - 1 in
+              List.iter
+                (fun v ->
+                  let w = Bits.Writer.create () in
+                  Bits.Writer.int w ~width v;
+                  let checked = Bits.Writer.contents w in
+                  let e = Bits_flat.Enc.create width in
+                  Bits_flat.Enc.int e ~width v;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s n=%d width=%d v=%d encodes equal" row_id n width v)
+                    true
+                    (Bits.equal checked (Bits_flat.Enc.to_bits e));
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s n=%d width=%d v=%d flat read" row_id n width v)
+                    v
+                    (Bits_flat.read_int checked ~pos:0 ~width))
+                [ 0; 1; env land mask; mask ])
+            [ 16; 64; 256; 1024 ])
+    [
+      "lr_sorting";
+      "path_outerplanarity";
+      "outerplanarity";
+      "planar_embedding";
+      "planarity";
+      "series_parallel_dip";
+      "treewidth2_dip";
+    ]
+
+(* ---- flat codec vs the pinned transcript corpus ----------------------- *)
+
+let corpus_seed = 7
+
+let check_frames_equal id (committed : (Dip.phase * Bits.t array) list)
+    (flat : (Dip.phase * Bits.t array) list) =
+  Alcotest.(check int) (id ^ " frame count") (List.length committed) (List.length flat);
+  List.iteri
+    (fun i ((ph_c, fr_c), (ph_f, fr_f)) ->
+      Alcotest.(check bool) (Printf.sprintf "%s frame %d phase" id i) true (ph_c = ph_f);
+      Alcotest.(check int) (Printf.sprintf "%s frame %d arity" id i) (Array.length fr_c)
+        (Array.length fr_f);
+      Array.iteri
+        (fun v b ->
+          if not (Bits.equal b fr_f.(v)) then
+            Alcotest.fail (Printf.sprintf "%s frame %d label %d differs under the flat codec" id i v))
+        fr_c)
+    (List.combine committed flat)
+
+let test_flat_matches_corpus_lr () =
+  (* E1 = lr_yes n=128 gseed=42 recorded at seed 7: re-running with the
+     flat codec must reproduce the committed frames byte for byte *)
+  let committed = Trace.of_file "golden/trace/E1.trace" in
+  let path, arcs = Gen.lr_yes ~n:128 42 in
+  let inst = { Lr_sorting.n = 128; path; arcs } in
+  let r =
+    Lr_sorting.run ~seed:corpus_seed ~retain:true ~codec:Bits_flat.Flat
+      ~prover:Lr_sorting.Honest inst
+  in
+  check_frames_equal "E1" committed.Trace.frames r.Lr_sorting.transcript;
+  Alcotest.(check bool) "E1 verdict" true r.Lr_sorting.verdict.Dip.accepted;
+  Alcotest.(check bool) "E1 stats equal" true (committed.Trace.stats = r.Lr_sorting.stats)
+
+let test_flat_matches_corpus_po () =
+  (* E3 = path_outerplanar n=200 gseed=11 recorded at seed 7 *)
+  let committed = Trace.of_file "golden/trace/E3.trace" in
+  let g, w = Gen.path_outerplanar ~n:200 11 in
+  let r =
+    Path_outerplanarity.run ~seed:corpus_seed ~retain:true ~codec:Bits_flat.Flat
+      ~prover:Path_outerplanarity.Honest
+      { Path_outerplanarity.graph = g; witness = Some w }
+  in
+  check_frames_equal "E3" committed.Trace.frames r.Path_outerplanarity.transcript;
+  Alcotest.(check bool) "E3 verdict" true r.Path_outerplanarity.verdict.Dip.accepted;
+  Alcotest.(check bool) "E3 stats equal" true
+    (committed.Trace.stats = r.Path_outerplanarity.stats)
+
+let test_flat_replay_cross_codec () =
+  (* a transcript recorded under one codec replays under the other *)
+  let path, arcs = Gen.lr_yes ~n:96 5 in
+  let inst = { Lr_sorting.n = 96; path; arcs } in
+  let recorded =
+    Lr_sorting.run ~seed:3 ~retain:true ~codec:Bits_flat.Checked ~prover:Lr_sorting.Honest inst
+  in
+  (match Lr_sorting.replay ~codec:Bits_flat.Flat inst recorded.Lr_sorting.transcript with
+  | Ok v -> Alcotest.(check bool) "flat replay of checked recording" true v.Dip.accepted
+  | Error e -> Alcotest.fail ("flat replay diverged: " ^ e));
+  let recorded_flat =
+    Lr_sorting.run ~seed:3 ~retain:true ~codec:Bits_flat.Flat ~prover:Lr_sorting.Honest inst
+  in
+  match Lr_sorting.replay ~codec:Bits_flat.Checked inst recorded_flat.Lr_sorting.transcript with
+  | Ok v -> Alcotest.(check bool) "checked replay of flat recording" true v.Dip.accepted
+  | Error e -> Alcotest.fail ("checked replay diverged: " ^ e)
+
+(* ---- the serve stream ------------------------------------------------- *)
+
+let golden_stream () =
+  let ic = open_in "golden/serve_requests.txt" in
+  let s = In_channel.input_all ic in
+  close_in ic;
+  match Serve.parse_requests s with
+  | Ok reqs -> reqs
+  | Error e -> Alcotest.fail ("golden stream does not parse: " ^ e)
+
+let golden_responses () =
+  let ic = open_in "golden/serve_responses.txt" in
+  let s = In_channel.input_all ic in
+  close_in ic;
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let log, digest =
+    List.partition (fun l -> not (String.length l > 8 && String.sub l 0 8 = "digest: ")) lines
+  in
+  match digest with
+  | [ d ] -> (Array.of_list log, String.sub d 8 (String.length d - 8))
+  | _ -> Alcotest.fail "golden responses must end with one digest line"
+
+let run_stream ?jobs ?codec reqs =
+  Label_cache.reset ();
+  Serve.Prepared_cache.reset ();
+  let out = Serve.execute ?jobs ?codec reqs in
+  (Serve.response_log out, out)
+
+let test_serve_matches_golden () =
+  let reqs = golden_stream () in
+  let expected_log, expected_digest = golden_responses () in
+  let log, _ = run_stream ~jobs:1 reqs in
+  Alcotest.(check (array string)) "response log matches committed golden" expected_log log;
+  Alcotest.(check string) "digest matches committed golden" expected_digest
+    (Serve.log_digest log)
+
+let test_serve_deterministic_across_jobs_and_cache () =
+  let reqs = golden_stream () in
+  let log1, _ = run_stream ~jobs:1 reqs in
+  let digest = Serve.log_digest log1 in
+  List.iter
+    (fun jobs ->
+      let log, _ = run_stream ~jobs reqs in
+      Alcotest.(check string)
+        (Printf.sprintf "digest at jobs=%d" jobs)
+        digest (Serve.log_digest log))
+    [ 2; 4 ];
+  Unix.putenv "DIPP_LABEL_CACHE" "0";
+  let log_nc, _ = run_stream ~jobs:2 reqs in
+  Unix.putenv "DIPP_LABEL_CACHE" "1";
+  Alcotest.(check string) "digest with the label cache disabled" digest
+    (Serve.log_digest log_nc);
+  let log_flat, _ = run_stream ~jobs:2 ~codec:Bits_flat.Flat reqs in
+  Alcotest.(check string) "digest under the flat codec" digest (Serve.log_digest log_flat)
+
+let test_serve_codecs_agree_everywhere () =
+  (* beyond the digest: the full response records must be equal *)
+  let reqs = golden_stream () in
+  let _, out_c = run_stream ~jobs:2 ~codec:Bits_flat.Checked reqs in
+  let _, out_f = run_stream ~jobs:2 ~codec:Bits_flat.Flat reqs in
+  Alcotest.(check bool) "checked and flat responses structurally equal" true
+    (Array.map (fun o -> o.Serve.response) out_c = Array.map (fun o -> o.Serve.response) out_f)
+
+let test_serve_cache_counters_deterministic () =
+  let reqs = golden_stream () in
+  let stats_at jobs =
+    ignore (run_stream ~jobs reqs);
+    Serve.Prepared_cache.stats ()
+  in
+  let s1 = stats_at 1 in
+  Alcotest.(check bool) "prepared-cache stats identical at jobs=2" true (s1 = stats_at 2);
+  Alcotest.(check bool) "prepared-cache stats identical at jobs=4" true (s1 = stats_at 4);
+  let lookups, distinct, resident, _ = s1 in
+  Alcotest.(check int) "one lookup per request" (Array.length reqs) lookups;
+  Alcotest.(check bool) "repeat topologies deduplicated" true (distinct < Array.length reqs);
+  Alcotest.(check int) "all distinct topologies resident under default capacity" distinct resident
+
+(* ---- stream codec roundtrips ------------------------------------------ *)
+
+let test_stream_roundtrips () =
+  let reqs = golden_stream () in
+  (match Serve.parse_requests (Serve.requests_to_text reqs) with
+  | Ok r -> Alcotest.(check bool) "text roundtrip" true (r = reqs)
+  | Error e -> Alcotest.fail ("text roundtrip: " ^ e));
+  let bin = Serve.requests_to_binary reqs in
+  Alcotest.(check string) "binary magic" Serve.magic (String.sub bin 0 (String.length Serve.magic));
+  match Serve.parse_requests bin with
+  | Ok r -> Alcotest.(check bool) "binary roundtrip" true (r = reqs)
+  | Error e -> Alcotest.fail ("binary roundtrip: " ^ e)
+
+(* ---- malformed requests ------------------------------------------------ *)
+
+let mk family n gseed seed budget = { Serve.family; n; gseed; seed; budget }
+
+let expect_bad name reqs =
+  match Serve.execute ~jobs:2 reqs with
+  | exception Serve.Bad_request _ -> ()
+  | _ -> Alcotest.fail ("expected Bad_request: " ^ name)
+
+let test_bad_requests_rejected () =
+  expect_bad "unknown family" [| mk "nope" 16 1 0 100 |];
+  expect_bad "n below the family floor" [| mk "lr" 2 1 0 100 |];
+  expect_bad "n above the service ceiling" [| mk "lr" (Serve.max_request_n + 1) 1 0 100 |];
+  expect_bad "negative generator seed" [| mk "lr" 16 (-1) 0 100 |];
+  expect_bad "negative run seed" [| mk "lr" 16 1 (-1) 100 |];
+  expect_bad "non-positive budget" [| mk "lr" 16 1 0 0 |];
+  expect_bad "budget over the registry envelope" [| mk "lr" 64 1 0 1_000_000 |];
+  (* a bad request anywhere in the batch is rejected before any work *)
+  expect_bad "bad request mid-batch" [| mk "lr" 32 1 1 150; mk "nope" 16 1 0 100 |];
+  Label_cache.reset ();
+  Serve.Prepared_cache.reset ();
+  let lookups, _, _, _ = Serve.Prepared_cache.stats () in
+  Alcotest.(check int) "no pooled work ran for rejected batches" 0 lookups
+
+let test_malformed_streams_rejected () =
+  let reqs = golden_stream () in
+  let bin = Serve.requests_to_binary reqs in
+  let expect_err name s =
+    match Serve.parse_requests s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected parse error: " ^ name)
+  in
+  expect_err "truncated binary frame" (String.sub bin 0 (String.length bin - 3));
+  expect_err "unknown binary family id" (Serve.magic ^ String.make 17 '\xff');
+  expect_err "text: missing fields" "lr 16 1\n";
+  expect_err "text: malformed integer" "lr 16 x 0 200\n";
+  (* an unknown family name in a text stream parses (the format is just
+     five fields) and is rejected by validation before any pooled work,
+     mirroring the unknown-binary-id parse error *)
+  match Serve.parse_requests "warp 16 1 0 200\n" with
+  | Error e -> Alcotest.fail ("text with unknown family should parse: " ^ e)
+  | Ok reqs -> expect_bad "text: unknown family" reqs
+
+(* ---- prepared-instance cache eviction ---------------------------------- *)
+
+let test_eviction_boundary () =
+  Label_cache.reset ();
+  Serve.Prepared_cache.reset ();
+  Serve.Prepared_cache.set_capacity 2;
+  (* three distinct topologies through a capacity-2 cache, at several jobs
+     counts: the resident set (the two smallest keys) must not depend on
+     the schedule, and answers must stay correct throughout *)
+  let reqs =
+    [| mk "lr" 32 1 1 180; mk "lr" 32 2 1 180; mk "lr" 32 3 1 180; mk "lr" 32 1 2 180 |]
+  in
+  let digest jobs =
+    let out = Serve.execute ~jobs reqs in
+    Serve.log_digest (Serve.response_log out)
+  in
+  let d1 = digest 1 in
+  let stats1 = Serve.Prepared_cache.stats () in
+  let _, distinct, resident, capacity = stats1 in
+  Alcotest.(check int) "three distinct topologies seen" 3 distinct;
+  Alcotest.(check int) "resident clamped to capacity" 2 resident;
+  Alcotest.(check int) "capacity as set" 2 capacity;
+  Serve.Prepared_cache.reset ();
+  Serve.Prepared_cache.set_capacity 2;
+  Alcotest.(check string) "evicting cache keeps answers deterministic" d1 (digest 4);
+  let stats4 = Serve.Prepared_cache.stats () in
+  Serve.Prepared_cache.reset ();
+  (* lookups can race past a miss, but the derived set counters cannot *)
+  let drop_lookups (_, a, b, c) = (a, b, c) in
+  Alcotest.(check bool) "eviction state schedule-independent" true
+    (drop_lookups stats1 = drop_lookups stats4)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "flat-codec",
+        [
+          qtest prop_flat_encoder_matches_writer;
+          qtest prop_flat_decoder_matches_reader;
+          qtest prop_flat_reset_reuse;
+          Alcotest.test_case "envelope-width roundtrips" `Quick test_envelope_width_roundtrips;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "E1 frames byte-identical under flat" `Quick
+            test_flat_matches_corpus_lr;
+          Alcotest.test_case "E3 frames byte-identical under flat" `Quick
+            test_flat_matches_corpus_po;
+          Alcotest.test_case "cross-codec replay" `Quick test_flat_replay_cross_codec;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "matches committed golden responses" `Quick test_serve_matches_golden;
+          Alcotest.test_case "digest stable across jobs and caches" `Quick
+            test_serve_deterministic_across_jobs_and_cache;
+          Alcotest.test_case "codecs agree on full responses" `Quick
+            test_serve_codecs_agree_everywhere;
+          Alcotest.test_case "cache counters schedule-independent" `Quick
+            test_serve_cache_counters_deterministic;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "stream text/binary roundtrips" `Quick test_stream_roundtrips;
+          Alcotest.test_case "malformed requests rejected" `Quick test_bad_requests_rejected;
+          Alcotest.test_case "malformed streams rejected" `Quick test_malformed_streams_rejected;
+        ] );
+      ("eviction", [ Alcotest.test_case "capacity boundary" `Quick test_eviction_boundary ]);
+    ]

@@ -59,6 +59,44 @@ let test_bits_range_errors () =
     (Invalid_argument "Bits.sub: slice [-1, -1+2) out of range for length 5")
     (fun () -> ignore (Bits.sub b ~pos:(-1) ~len:2))
 
+let test_bits_flat_range_errors () =
+  (* the flat reader keeps the named-index error convention of the checked
+     Bits accessors: same [pos, pos+len) slice format, same length report *)
+  let b = Bits.of_string "10110" in
+  Alcotest.check_raises "flat slice past the end"
+    (Invalid_argument "Bits_flat.read_int: slice [3, 3+4) out of range for length 5")
+    (fun () -> ignore (Bits_flat.read_int b ~pos:3 ~width:4));
+  Alcotest.check_raises "flat negative slice position"
+    (Invalid_argument "Bits_flat.read_int: slice [-1, -1+2) out of range for length 5")
+    (fun () -> ignore (Bits_flat.read_int b ~pos:(-1) ~width:2));
+  let d = Bits_flat.Dec.of_bits b in
+  Alcotest.check_raises "flat decoder underflow is Reader.Underflow" Bits.Reader.Underflow
+    (fun () -> ignore (Bits_flat.Dec.int d ~width:6));
+  (* same terse convention as Bits.of_int, whose encoder these mirror *)
+  Alcotest.check_raises "flat encoder width validation"
+    (Invalid_argument "Bits_flat.Enc.int: width")
+    (fun () -> ignore (Bits_flat.Enc.int (Bits_flat.Enc.create 8) ~width:63 1));
+  Alcotest.check_raises "flat encoder value validation"
+    (Invalid_argument "Bits_flat.Enc.int: value")
+    (fun () -> ignore (Bits_flat.Enc.int (Bits_flat.Enc.create 8) ~width:2 4))
+
+let test_bits_flat_agrees_with_checked () =
+  (* in range, the flat reader agrees with the checked Reader bit for bit *)
+  let w = Bits.Writer.create () in
+  Bits.Writer.int w ~width:7 93;
+  Bits.Writer.bool w true;
+  Bits.Writer.int w ~width:3 5;
+  let b = Bits.Writer.contents w in
+  Alcotest.(check int) "read_int at 0" 93 (Bits_flat.read_int b ~pos:0 ~width:7);
+  Alcotest.(check int) "read_int mid" 5 (Bits_flat.read_int b ~pos:8 ~width:3);
+  Alcotest.(check int) "unsafe_int agrees in range" (Bits_flat.read_int b ~pos:1 ~width:9)
+    (Bits_flat.unsafe_int b ~pos:1 ~width:9);
+  let d = Bits_flat.Dec.of_bits b in
+  Alcotest.(check int) "dec int" 93 (Bits_flat.Dec.int d ~width:7);
+  Alcotest.(check bool) "dec bool" true (Bits_flat.Dec.bool d);
+  Alcotest.(check int) "dec second int" 5 (Bits_flat.Dec.int d ~width:3);
+  Alcotest.(check int) "dec drained" 0 (Bits_flat.Dec.remaining d)
+
 let test_bits_unsafe_sub () =
   (* in range, unsafe_sub agrees with sub; past the logical length it
      reads zeroed padding without raising — hence the lint gate *)
@@ -286,6 +324,8 @@ let () =
           Alcotest.test_case "writer/reader" `Quick test_bits_writer_reader;
           Alcotest.test_case "reader underflow" `Quick test_bits_reader_underflow;
           Alcotest.test_case "range errors" `Quick test_bits_range_errors;
+          Alcotest.test_case "flat range errors" `Quick test_bits_flat_range_errors;
+          Alcotest.test_case "flat agrees with checked" `Quick test_bits_flat_agrees_with_checked;
           Alcotest.test_case "unsafe_sub" `Quick test_bits_unsafe_sub;
           Alcotest.test_case "equal" `Quick test_bits_equal;
           qtest prop_bits_string_roundtrip;
