@@ -895,7 +895,9 @@ let serve () =
     (out, wall)
   in
   let report name out wall =
-    let p50, p99 = Serve.latency_percentiles out in
+    let p50, p99 =
+      match Serve.latency_percentiles out with Some ps -> ps | None -> (0., 0.)
+    in
     Printf.printf "%-8s %5d req  %7.3fs  %8.1f req/s  p50=%6.3fms  p99=%6.3fms\n" name
       (Array.length out) wall
       (float_of_int (Array.length out) /. wall)

@@ -370,11 +370,14 @@ let serve_cmd =
             let log = Serve.response_log out in
             Array.iter print_endline log;
             Printf.printf "digest: %s\n" (Serve.log_digest log);
-            let p50, p99 = Serve.latency_percentiles out in
-            Printf.eprintf "served %d request(s) in %.3fs (%.1f req/s), p50=%.3fms p99=%.3fms\n"
-              (Array.length out) wall
-              (float_of_int (Array.length out) /. wall)
-              (p50 *. 1e3) (p99 *. 1e3);
+            (match Serve.latency_percentiles out with
+            | Some (p50, p99) ->
+                Printf.eprintf
+                  "served %d request(s) in %.3fs (%.1f req/s), p50=%.3fms p99=%.3fms\n"
+                  (Array.length out) wall
+                  (float_of_int (Array.length out) /. wall)
+                  (p50 *. 1e3) (p99 *. 1e3)
+            | None -> Printf.eprintf "served 0 request(s) in %.3fs\n" wall);
             Printf.eprintf "%s\n%s\n" (Serve.Prepared_cache.report ()) (Label_cache.report ());
             if Array.exists (fun o -> not o.Serve.response.Serve.accepted) out then exit 1)
   in

@@ -35,6 +35,7 @@ val run_biconnected :
   ?c:int ->
   ?param_n:int ->
   ?retain:bool ->
+  ?codec:Bits_flat.codec ->
   prover:Path_outerplanarity.prover ->
   Graph.t ->
   Path_outerplanarity.result
@@ -43,5 +44,14 @@ val run_biconnected :
     the committed path always has adjacent endpoints, and the verifier
     checks the closing edge exists). *)
 
-val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result
-(** Theorem 1.3 on connected graphs. *)
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
+(** Theorem 1.3 on connected graphs.  [codec] selects the honest prover's
+    label serializer (byte-identical output either way); it is threaded
+    into every per-component {!Path_outerplanarity} run. *)

@@ -89,6 +89,14 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ?(codec = Bits_flat.Chec
   let nb = Fp.bit_width pa.Lr_sorting.Params.p in
   (* name strings have c * Theta(log log n) bits *)
   let el = Edge_labels.create g in
+  (* flat-codec node encoder, preallocated from the Bounds envelope so the
+     reset-reuse cycle never climbs the grow ladder *)
+  let flat_cap =
+    match Bounds.find "path_outerplanarity" with
+    | Some row -> Bounds.envelope row ~n:sizing_n ~delta:(max 2 (Graph.max_degree g))
+    | None -> 64
+  in
+  let fenc = Bits_flat.Enc.create ~capacity:flat_cap 64 in
 
   (* -------- the claimed path ---------------------------------------- *)
   let true_witness =
@@ -259,13 +267,13 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ?(codec = Bits_flat.Chec
       ]
   in
   let r1_node_flat v =
-    let fb = Bits_flat.Enc.create 64 in
-    Bits_flat.Enc.bits fb (Forest_encoding.to_bits ~cbits enc.(v));
-    Bits_flat.Enc.bool fb has_left.(v);
-    Bits_flat.Enc.bool fb has_right.(v);
-    Bits_flat.Enc.bits fb el_setup.(v);
-    Bits_flat.Enc.bits fb r1_edge_assignment.(v);
-    Bits_flat.Enc.to_bits fb
+    Bits_flat.Enc.reset fenc;
+    Bits_flat.Enc.bits fenc (Forest_encoding.to_bits ~cbits enc.(v));
+    Bits_flat.Enc.bool fenc has_left.(v);
+    Bits_flat.Enc.bool fenc has_right.(v);
+    Bits_flat.Enc.bits fenc el_setup.(v);
+    Bits_flat.Enc.bits fenc r1_edge_assignment.(v);
+    Bits_flat.Enc.to_bits fenc
   in
   (* dipp-refine: width <= 20*loglog + 20 *)
   Dip.record_prover meter
@@ -305,16 +313,18 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ?(codec = Bits_flat.Chec
         let succ =
           match Hashtbl.find_opt succ_of e with Some (Some k) -> Some (name_of k) | _ -> None
         in
-        Edge_map.add e
-          {
-            tail;
-            head;
-            m_tail = marked_tail_longest e;
-            m_head = marked_head_longest e;
-            name = name_of e;
-            succ;
-          }
-          acc)
+        let m_tail, m_head =
+          match codec with
+          | Bits_flat.Checked -> (marked_tail_longest e, marked_head_longest e)
+          | Bits_flat.Flat ->
+              (* round-3 readback of the round-1 edge label (bits 2 and 3 of
+                 the 4-bit frame); unchecked reads — dipp-refine proves the
+                 bounds against the constant frame width *)
+              let lbl = r1_edge_bits_flat e in
+              ( Bits_flat.unsafe_int lbl ~pos:2 ~width:1 = 1,
+                Bits_flat.unsafe_int lbl ~pos:3 ~width:1 = 1 )
+        in
+        Edge_map.add e { tail; head; m_tail; m_head; name = name_of e; succ } acc)
       Edge_map.empty nonpath_edges
   in
   let opt_pair_bits = function
@@ -355,11 +365,11 @@ let run ?(seed = 0) ?(c = 3) ?param_n ?(retain = false) ?(codec = Bits_flat.Chec
   in
   let st_resp_bits = Spanning_tree_verify.response_to_bits ~tag_bits:4 st_resp in
   let r3_node_flat v =
-    let fb = Bits_flat.Enc.create 64 in
-    Bits_flat.Enc.bits fb st_resp_bits.(v);
-    opt_pair_flat fb (above_of_node v);
-    Bits_flat.Enc.bits fb r3_edges.(v);
-    Bits_flat.Enc.to_bits fb
+    Bits_flat.Enc.reset fenc;
+    Bits_flat.Enc.bits fenc st_resp_bits.(v);
+    opt_pair_flat fenc (above_of_node v);
+    Bits_flat.Enc.bits fenc r3_edges.(v);
+    Bits_flat.Enc.to_bits fenc
   in
   (* dipp-refine: width <= 40*loglog + 40 *)
   Dip.record_prover meter

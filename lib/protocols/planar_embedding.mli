@@ -43,5 +43,14 @@ type result = {
           component sub-runs meter separately and are not retained *)
 }
 
-val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result
-(** Requires a connected graph with at least one node. *)
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
+(** Requires a connected graph with at least one node.  [codec] selects
+    the honest prover's label serializer (byte-identical output either
+    way); it is threaded through the inner {!Path_outerplanarity} run. *)

@@ -25,4 +25,14 @@ type result = {
           component sub-runs meter separately and are not retained *)
 }
 
-val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
+(** [codec] selects the honest prover's label serializer (checked
+    {!Bits.Writer} vs the flat {!Bits_flat.Enc} path, byte-identical
+    output); it is threaded through the inner {!Planar_embedding} run. *)

@@ -40,4 +40,15 @@ type result = {
 val derive_ears : Graph.t -> int list list option
 (** Honest witness: SP-tree recognition + Eppstein's construction. *)
 
-val run : ?seed:int -> ?c:int -> ?param_n:int -> ?retain:bool -> prover:prover -> instance -> result
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?param_n:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
+(** [codec] selects the honest prover's label serializer (byte-identical
+    output either way); it is threaded into every per-host
+    {!Path_outerplanarity} run. *)

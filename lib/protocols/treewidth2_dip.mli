@@ -22,4 +22,14 @@ type result = {
           component sub-runs meter separately and are not retained *)
 }
 
-val run : ?seed:int -> ?c:int -> ?retain:bool -> prover:prover -> instance -> result
+val run :
+  ?seed:int ->
+  ?c:int ->
+  ?retain:bool ->
+  ?codec:Bits_flat.codec ->
+  prover:prover ->
+  instance ->
+  result
+(** [codec] selects the honest prover's label serializer (byte-identical
+    output either way); it is threaded into every per-component
+    {!Series_parallel_dip} run. *)

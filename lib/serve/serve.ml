@@ -116,9 +116,10 @@ let outerplanarity_family =
             content_key ~name:"outerplanarity" ~n ~gseed ~digest:(Trace.graph_digest g);
           nodes = Graph.n g;
           exec =
-            (fun ~codec:_ ~seed ->
+            (fun ~codec ~seed ->
               let r =
-                Outerplanarity.run ~seed ~prover:Outerplanarity.Honest { Outerplanarity.graph = g }
+                Outerplanarity.run ~seed ~codec ~prover:Outerplanarity.Honest
+                  { Outerplanarity.graph = g }
               in
               (r.Outerplanarity.verdict, r.Outerplanarity.stats));
         })
@@ -142,9 +143,9 @@ let planar_embedding_family =
             content_key ~name:"planar_embedding" ~n ~gseed ~digest:(Trace.graph_digest g);
           nodes = Graph.n g;
           exec =
-            (fun ~codec:_ ~seed ->
+            (fun ~codec ~seed ->
               let r =
-                Planar_embedding.run ~seed ~prover:Planar_embedding.Honest
+                Planar_embedding.run ~seed ~codec ~prover:Planar_embedding.Honest
                   { Planar_embedding.graph = g; rot }
               in
               (r.Planar_embedding.verdict, r.Planar_embedding.stats));
@@ -163,8 +164,10 @@ let planarity_family =
           instance_key = content_key ~name:"planarity" ~n ~gseed ~digest:(Trace.graph_digest g);
           nodes = Graph.n g;
           exec =
-            (fun ~codec:_ ~seed ->
-              let r = Planarity.run ~seed ~prover:Planarity.Honest { Planarity.graph = g } in
+            (fun ~codec ~seed ->
+              let r =
+                Planarity.run ~seed ~codec ~prover:Planarity.Honest { Planarity.graph = g }
+              in
               (r.Planarity.verdict, r.Planarity.stats));
         })
   }
@@ -183,9 +186,9 @@ let series_parallel_family =
             content_key ~name:"series_parallel" ~n ~gseed ~digest:(Trace.graph_digest g);
           nodes = Graph.n g;
           exec =
-            (fun ~codec:_ ~seed ->
+            (fun ~codec ~seed ->
               let r =
-                Series_parallel_dip.run ~seed ~prover:Series_parallel_dip.Honest
+                Series_parallel_dip.run ~seed ~codec ~prover:Series_parallel_dip.Honest
                   { Series_parallel_dip.graph = g; ears = Some ears }
               in
               (r.Series_parallel_dip.verdict, r.Series_parallel_dip.stats));
@@ -204,9 +207,10 @@ let treewidth2_family =
           instance_key = content_key ~name:"treewidth2" ~n ~gseed ~digest:(Trace.graph_digest g);
           nodes = Graph.n g;
           exec =
-            (fun ~codec:_ ~seed ->
+            (fun ~codec ~seed ->
               let r =
-                Treewidth2_dip.run ~seed ~prover:Treewidth2_dip.Honest { Treewidth2_dip.graph = g }
+                Treewidth2_dip.run ~seed ~codec ~prover:Treewidth2_dip.Honest
+                  { Treewidth2_dip.graph = g }
               in
               (r.Treewidth2_dip.verdict, r.Treewidth2_dip.stats));
         })
@@ -295,8 +299,15 @@ let requests_to_binary reqs =
 
 let parse_text s =
   let lines = String.split_on_char '\n' s in
+  (* explicit CRLF handling: a stream written on (or piped through) a
+     Windows toolchain ends every line in "\r\n"; splitting on '\n' alone
+     leaves the '\r' glued to the last field, so chop it before parsing *)
+  let strip_cr line =
+    let len = String.length line in
+    if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line
+  in
   let parse_line lineno line acc =
-    let line = String.trim line in
+    let line = String.trim (strip_cr line) in
     if String.length line = 0 || line.[0] = '#' then Ok acc
     else
       match String.split_on_char ' ' line |> List.filter (fun t -> String.length t > 0) with
@@ -480,12 +491,18 @@ let validate_batch reqs =
       | Error e -> raise (Bad_request (Printf.sprintf "request %d: %s" i e)))
     reqs
 
+(* Unix.gettimeofday is wall-clock time: an NTP slew or step between the
+   two reads can make the delta negative.  The stdlib ships no monotonic
+   clock (Mtime is not vendored), so clamp at zero — a latency is never
+   negative. *)
+let monotonic_latency ~t0 ~t1 = if t1 > t0 then t1 -. t0 else 0.
+
 let execute ?jobs ?(codec = Bits_flat.Checked) reqs =
   validate_batch reqs;
   Pool.run ?jobs (Array.length reqs) (fun i ->
       let t0 = Unix.gettimeofday () in
       let response = answer ~codec i reqs.(i) in
-      { response; latency_s = Unix.gettimeofday () -. t0 })
+      { response; latency_s = monotonic_latency ~t0 ~t1:(Unix.gettimeofday ()) })
 
 (* ---- response log ------------------------------------------------------ *)
 
@@ -502,15 +519,22 @@ let response_log outcomes =
 
 let log_digest lines = Sha256.hex (String.concat "\n" (Array.to_list lines))
 
-let percentile sorted q =
+(* Nearest-rank percentile, computed entirely in integer arithmetic:
+   rank = ceil(pct * n / 100) for pct in [1, 100].  The previous float
+   formulation (int_of_float (ceil (q *. float n)) - 1) was fragile —
+   0.99 *. 100. evaluates to 99.00000000000001, whose ceiling lands on
+   index 99 instead of the nearest-rank index 98. *)
+let percentile sorted ~pct =
   let n = Array.length sorted in
-  if n = 0 then 0.
+  if n = 0 || pct < 1 || pct > 100 then None
   else begin
-    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) rank))
+    let rank = ((pct * n) + 99) / 100 in
+    Some sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
 let latency_percentiles outcomes =
   let lat = Array.map (fun o -> o.latency_s) outcomes in
   Array.sort Float.compare lat;
-  (percentile lat 0.50, percentile lat 0.99)
+  match (percentile lat ~pct:50, percentile lat ~pct:99) with
+  | Some p50, Some p99 -> Some (p50, p99)
+  | _ -> None

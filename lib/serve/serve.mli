@@ -92,5 +92,14 @@ val response_log : outcome array -> string array
 val log_digest : string array -> string
 (** SHA-256 over the newline-joined log. *)
 
-val latency_percentiles : outcome array -> float * float
-(** [(p50, p99)] in seconds. *)
+val monotonic_latency : t0:float -> t1:float -> float
+(** [t1 -. t0] clamped at 0: wall-clock reads can go backwards under an
+    NTP slew or step, and a latency is never negative. *)
+
+val percentile : float array -> pct:int -> float option
+(** Nearest-rank percentile of a sorted array, [pct] in [1, 100]; integer
+    rank arithmetic throughout.  [None] on an empty array or a [pct] out
+    of range. *)
+
+val latency_percentiles : outcome array -> (float * float) option
+(** [(p50, p99)] in seconds; [None] on an empty outcome array. *)

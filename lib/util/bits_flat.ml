@@ -19,9 +19,12 @@ let codec_name = function Checked -> "checked" | Flat -> "flat"
 module Enc = struct
   type t = { mutable len : int; mutable data : Bytes.t }
 
-  let create cap =
-    let cap = if cap < 1 then 1 else cap in
-    { len = 0; data = Bytes.make ((cap + 7) / 8) '\000' }
+  (* [capacity] is a preallocation floor on top of the per-label hint
+     [cap]: a reset-reused encoder sized from a Bounds envelope never
+     climbs the grow ladder, however the individual labels interleave. *)
+  let create ?(capacity = 0) cap =
+    let bits = max 1 (max cap capacity) in
+    { len = 0; data = Bytes.make ((bits + 7) / 8) '\000' }
 
   let length e = e.len
 

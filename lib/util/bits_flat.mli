@@ -21,9 +21,12 @@ val codec_name : codec -> string
 module Enc : sig
   type t
 
-  val create : int -> t
-  (** [create cap] preallocates for [cap] bits.  The buffer grows by
-      doubling if exceeded, so [cap] is a sizing hint, not a limit. *)
+  val create : ?capacity:int -> int -> t
+  (** [create ?capacity cap] preallocates for [max cap capacity] bits.
+      The buffer grows by doubling if exceeded, so both are sizing hints,
+      not limits.  [capacity] is a preallocation floor for reset-reused
+      encoders — pass the protocol's registry envelope (see {!Bounds})
+      and the serve path never pays the grow ladder. *)
 
   val reset : t -> unit
   (** Rewind to empty for buffer reuse; O(1), no zero-fill. *)

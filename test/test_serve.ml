@@ -156,6 +156,89 @@ let test_flat_matches_corpus_po () =
   Alcotest.(check bool) "E3 stats equal" true
     (committed.Trace.stats = r.Path_outerplanarity.stats)
 
+(* the five composite families, each as (trace id, runner): the runner
+   re-executes the pinned registry instance under the given codec and
+   returns (frames, accepted, stats) *)
+let composite_runs =
+  [
+    ( "E4",
+      fun ~codec ~seed ->
+        let g = Gen.outerplanar ~blocks:4 3 in
+        let r =
+          Outerplanarity.run ~seed ~retain:true ~codec ~prover:Outerplanarity.Honest
+            { Outerplanarity.graph = g }
+        in
+        (r.Outerplanarity.transcript, r.Outerplanarity.verdict.Dip.accepted, r.Outerplanarity.stats)
+    );
+    ( "E5",
+      fun ~codec ~seed ->
+        let g = Gen.planar ~n:64 5 in
+        let rot =
+          match Gen.embedding g with
+          | Some rot -> rot
+          | None -> Alcotest.fail "E5 planar instance has no embedding"
+        in
+        let r =
+          Planar_embedding.run ~seed ~retain:true ~codec ~prover:Planar_embedding.Honest
+            { Planar_embedding.graph = g; rot }
+        in
+        ( r.Planar_embedding.transcript,
+          r.Planar_embedding.verdict.Dip.accepted,
+          r.Planar_embedding.stats ) );
+    ( "E6",
+      fun ~codec ~seed ->
+        let g = Gen.planar ~n:64 5 in
+        let r =
+          Planarity.run ~seed ~retain:true ~codec ~prover:Planarity.Honest { Planarity.graph = g }
+        in
+        (r.Planarity.transcript, r.Planarity.verdict.Dip.accepted, r.Planarity.stats) );
+    ( "E7",
+      fun ~codec ~seed ->
+        let tr, g = Gen.series_parallel ~size:64 3 in
+        let ears = Series_parallel.ears_of_sp tr in
+        let r =
+          Series_parallel_dip.run ~seed ~retain:true ~codec ~prover:Series_parallel_dip.Honest
+            { Series_parallel_dip.graph = g; ears = Some ears }
+        in
+        ( r.Series_parallel_dip.transcript,
+          r.Series_parallel_dip.verdict.Dip.accepted,
+          r.Series_parallel_dip.stats ) );
+    ( "E8",
+      fun ~codec ~seed ->
+        let g = Gen.treewidth2 ~blocks:4 3 in
+        let r =
+          Treewidth2_dip.run ~seed ~retain:true ~codec ~prover:Treewidth2_dip.Honest
+            { Treewidth2_dip.graph = g }
+        in
+        (r.Treewidth2_dip.transcript, r.Treewidth2_dip.verdict.Dip.accepted, r.Treewidth2_dip.stats)
+    );
+  ]
+
+let test_flat_matches_corpus_composites () =
+  (* E4-E8: the five newly ported families, re-run under the flat codec
+     against the committed frames (seed read back from the trace) *)
+  List.iter
+    (fun (id, run) ->
+      let committed = Trace.of_file ("golden/trace/" ^ id ^ ".trace") in
+      let frames, accepted, stats = run ~codec:Bits_flat.Flat ~seed:committed.Trace.seed in
+      check_frames_equal id committed.Trace.frames frames;
+      Alcotest.(check bool) (id ^ " verdict") true accepted;
+      Alcotest.(check bool) (id ^ " stats equal") true (committed.Trace.stats = stats))
+    composite_runs
+
+let test_cross_codec_reexecution_composites () =
+  (* the composite protocols replay by deterministic re-execution (registry
+     semantics): at a fresh seed, a checked run and a flat run must produce
+     the same transcript, verdict, and stats *)
+  List.iter
+    (fun (id, run) ->
+      let fc, ac, sc = run ~codec:Bits_flat.Checked ~seed:13 in
+      let ff, af, sf = run ~codec:Bits_flat.Flat ~seed:13 in
+      check_frames_equal (id ^ " seed=13") fc ff;
+      Alcotest.(check bool) (id ^ " verdicts agree") true (ac = af);
+      Alcotest.(check bool) (id ^ " stats agree") true (sc = sf))
+    composite_runs
+
 let test_flat_replay_cross_codec () =
   (* a transcript recorded under one codec replays under the other *)
   let path, arcs = Gen.lr_yes ~n:96 5 in
@@ -225,8 +308,13 @@ let test_serve_deterministic_across_jobs_and_cache () =
   Unix.putenv "DIPP_LABEL_CACHE" "1";
   Alcotest.(check string) "digest with the label cache disabled" digest
     (Serve.log_digest log_nc);
-  let log_flat, _ = run_stream ~jobs:2 ~codec:Bits_flat.Flat reqs in
-  Alcotest.(check string) "digest under the flat codec" digest (Serve.log_digest log_flat)
+  List.iter
+    (fun jobs ->
+      let log_flat, _ = run_stream ~jobs ~codec:Bits_flat.Flat reqs in
+      Alcotest.(check string)
+        (Printf.sprintf "digest under the flat codec at jobs=%d" jobs)
+        digest (Serve.log_digest log_flat))
+    [ 1; 2; 4 ]
 
 let test_serve_codecs_agree_everywhere () =
   (* beyond the digest: the full response records must be equal *)
@@ -306,6 +394,66 @@ let test_malformed_streams_rejected () =
   | Error e -> Alcotest.fail ("text with unknown family should parse: " ^ e)
   | Ok reqs -> expect_bad "text: unknown family" reqs
 
+let test_crlf_text_streams () =
+  (* positive: a CRLF-terminated stream parses to the same requests as its
+     LF twin, comments and blank lines included *)
+  let lf = "# comment\nlr 32 1 1 180\n\nlr 32 2 1 180\n" in
+  let crlf = "# comment\r\nlr 32 1 1 180\r\n\r\nlr 32 2 1 180\r\n" in
+  (match (Serve.parse_requests lf, Serve.parse_requests crlf) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "CRLF stream parses like the LF stream" true (a = b);
+      Alcotest.(check int) "both carry two requests" 2 (Array.length a)
+  | Error e, _ | _, Error e -> Alcotest.fail ("CRLF/LF stream should parse: " ^ e));
+  (* negative: stripping the '\r' must not mask real malformations, and the
+     reported line number still counts CRLF lines correctly *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match Serve.parse_requests "lr 32 1 1 180\r\nlr 32 1 1\r\n" with
+  | Ok _ -> Alcotest.fail "malformed CRLF line should be rejected"
+  | Error e -> Alcotest.(check bool) "error names line 2" true (contains e "line 2")
+
+(* ---- latency accounting ------------------------------------------------ *)
+
+let test_latency_clamp () =
+  (* wall-clock can step backwards between the two reads; the latency is
+     clamped at zero rather than reported negative *)
+  Alcotest.(check (float 0.)) "backwards clock clamps to 0" 0.
+    (Serve.monotonic_latency ~t0:10.5 ~t1:10.25);
+  Alcotest.(check (float 0.)) "equal reads give 0" 0. (Serve.monotonic_latency ~t0:3. ~t1:3.);
+  Alcotest.(check (float 1e-9)) "forward reads subtract" 0.25
+    (Serve.monotonic_latency ~t0:10.25 ~t1:10.5)
+
+let test_percentile_edges () =
+  let check_p name expected got =
+    match got with
+    | Some v -> Alcotest.(check (float 0.)) name expected v
+    | None -> Alcotest.fail (name ^ ": unexpected None")
+  in
+  (* empty input is explicit, not a silent 0 *)
+  Alcotest.(check bool) "empty array has no percentile" true (Serve.percentile [||] ~pct:50 = None);
+  Alcotest.(check bool) "empty outcomes have no latency summary" true
+    (Serve.latency_percentiles [||] = None);
+  (* out-of-range pct is refused *)
+  Alcotest.(check bool) "pct=0 refused" true (Serve.percentile [| 1. |] ~pct:0 = None);
+  Alcotest.(check bool) "pct=101 refused" true (Serve.percentile [| 1. |] ~pct:101 = None);
+  (* singleton: every percentile is the one sample *)
+  check_p "singleton p50" 7. (Serve.percentile [| 7. |] ~pct:50);
+  check_p "singleton p99" 7. (Serve.percentile [| 7. |] ~pct:99);
+  (* nearest rank in exact integer arithmetic: for n=100, p99 is the 99th
+     sample (index 98) — the float formulation rounded up to index 99 *)
+  let hundred = Array.init 100 float_of_int in
+  check_p "n=100 p99 is index 98" 98. (Serve.percentile hundred ~pct:99);
+  check_p "n=100 p50 is index 49" 49. (Serve.percentile hundred ~pct:50);
+  check_p "n=100 p100 is the max" 99. (Serve.percentile hundred ~pct:100);
+  check_p "n=100 p1 is the min" 0. (Serve.percentile hundred ~pct:1);
+  (* n=4: ceil(.5*4)=2nd sample, ceil(.99*4)=4th sample *)
+  let four = [| 1.; 2.; 3.; 4. |] in
+  check_p "n=4 p50" 2. (Serve.percentile four ~pct:50);
+  check_p "n=4 p99" 4. (Serve.percentile four ~pct:99)
+
 (* ---- prepared-instance cache eviction ---------------------------------- *)
 
 let test_eviction_boundary () =
@@ -354,7 +502,11 @@ let () =
             test_flat_matches_corpus_lr;
           Alcotest.test_case "E3 frames byte-identical under flat" `Quick
             test_flat_matches_corpus_po;
+          Alcotest.test_case "E4-E8 frames byte-identical under flat" `Quick
+            test_flat_matches_corpus_composites;
           Alcotest.test_case "cross-codec replay" `Quick test_flat_replay_cross_codec;
+          Alcotest.test_case "cross-codec re-execution (composites)" `Quick
+            test_cross_codec_reexecution_composites;
         ] );
       ( "determinism",
         [
@@ -369,8 +521,14 @@ let () =
       ( "requests",
         [
           Alcotest.test_case "stream text/binary roundtrips" `Quick test_stream_roundtrips;
+          Alcotest.test_case "CRLF text streams" `Quick test_crlf_text_streams;
           Alcotest.test_case "malformed requests rejected" `Quick test_bad_requests_rejected;
           Alcotest.test_case "malformed streams rejected" `Quick test_malformed_streams_rejected;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "backwards-clock clamp" `Quick test_latency_clamp;
+          Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
         ] );
       ("eviction", [ Alcotest.test_case "capacity boundary" `Quick test_eviction_boundary ]);
     ]

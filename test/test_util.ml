@@ -97,6 +97,34 @@ let test_bits_flat_agrees_with_checked () =
   Alcotest.(check int) "dec second int" 5 (Bits_flat.Dec.int d ~width:3);
   Alcotest.(check int) "dec drained" 0 (Bits_flat.Dec.remaining d)
 
+let test_bits_flat_capacity_reuse () =
+  (* [?capacity] preallocates ahead of the per-label hint; reset-reuse on a
+     preallocated encoder must produce exactly what a fresh exact-size
+     encoder produces, both under and over the hint *)
+  let encode enc fields =
+    List.iter (fun (width, v) -> Bits_flat.Enc.int enc ~width v) fields;
+    Bits_flat.Enc.to_bits enc
+  in
+  let fresh fields =
+    encode (Bits_flat.Enc.create (List.fold_left (fun a (w, _) -> a + w) 0 fields)) fields
+  in
+  let small = [ (3, 5); (1, 1) ] in
+  let large = [ (30, 12345); (30, 999_999); (30, 7) ] in
+  let e = Bits_flat.Enc.create ~capacity:256 4 in
+  Alcotest.(check bool) "preallocated encoder, small label" true
+    (Bits.equal (fresh small) (encode e small));
+  Bits_flat.Enc.reset e;
+  Alcotest.(check bool) "reset-reuse past the hint stays within capacity" true
+    (Bits.equal (fresh large) (encode e large));
+  Bits_flat.Enc.reset e;
+  Alcotest.(check bool) "reset-reuse back to a small label leaks nothing" true
+    (Bits.equal (fresh small) (encode e small));
+  (* capacity smaller than the hint is inert, and overflowing both still
+     grows transparently *)
+  let tiny = Bits_flat.Enc.create ~capacity:1 2 in
+  Alcotest.(check bool) "growth past hint and capacity" true
+    (Bits.equal (fresh large) (encode tiny large))
+
 let test_bits_unsafe_sub () =
   (* in range, unsafe_sub agrees with sub; past the logical length it
      reads zeroed padding without raising — hence the lint gate *)
@@ -326,6 +354,7 @@ let () =
           Alcotest.test_case "range errors" `Quick test_bits_range_errors;
           Alcotest.test_case "flat range errors" `Quick test_bits_flat_range_errors;
           Alcotest.test_case "flat agrees with checked" `Quick test_bits_flat_agrees_with_checked;
+          Alcotest.test_case "flat capacity preallocation" `Quick test_bits_flat_capacity_reuse;
           Alcotest.test_case "unsafe_sub" `Quick test_bits_unsafe_sub;
           Alcotest.test_case "equal" `Quick test_bits_equal;
           qtest prop_bits_string_roundtrip;
