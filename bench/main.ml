@@ -14,6 +14,8 @@
      dune exec bench/main.exe analysis  static-analyzer pass timings + BENCH_analysis.json
      dune exec bench/main.exe -- serve [--jobs N]
                                          batched verification service + BENCH_serve.json
+     dune exec bench/main.exe -- shard [--jobs N]
+                                         sharded network engine scaling + BENCH_shard.json
    Unknown commands or flags exit with code 2 and a usage message.
 
    Soundness loops (E2-E8) run on the deterministic multicore trial engine
@@ -991,6 +993,161 @@ let serve () =
   Printf.fprintf stdout "wrote %s: %d requests, digest %s\n" out (Array.length stream)
     (String.sub digest_c 0 12)
 
+(* Sharded network-engine scaling: the 10^3..10^6 planar instance ladder
+   (10^6 behind DIPP_HEAVY=1) through full DIP round-trips on the
+   {!Shard} engine at 1/2/4/8 shards.  Every result field is checked
+   identical across the shard grid (and against the single-queue {!Net}
+   engine, which agrees bit-for-bit under the reliable model), and a
+   faulty probe re-checks invariance across shard counts, worker counts
+   and partition seeds on the smallest rung.  BENCH_shard.json
+   (DIPP_SHARD_OUT overrides the path) keeps wall-clock and events/s
+   inside its "timing" object — everything outside it is byte-identical
+   for any machine, DIPP_SHARDS and --jobs value. *)
+let shard () =
+  header "SHARD  sharded network engine scaling -> BENCH_shard.json";
+  let heavy = match Sys.getenv_opt "DIPP_HEAVY" with Some "1" -> true | Some _ | None -> false in
+  let ladder = [ 1_000; 10_000; 100_000 ] @ if heavy then [ 1_000_000 ] else [] in
+  let shard_grid = [ 1; 2; 4; 8 ] in
+  let families =
+    [
+      ("triangulated-grid", fun n -> Gen.triangulated_grid ~n 1);
+      ("nested-triangulation", fun n -> Gen.nested_triangulation ~n 1);
+    ]
+  in
+  let tree_parent g =
+    let p = Traversal.spanning_tree g 0 in
+    Array.mapi (fun v pv -> if pv = v then -1 else pv) p
+  in
+  let render (r : Net.result) =
+    let ints l = String.concat "," (List.map string_of_int l) in
+    Printf.sprintf
+      "accepted=%b rejecting=[%s] crashed=[%s] heard=%.17g sent=%d delivered=%d dropped=%d \
+       corrupted=%d duplicated=%d late=%d retransmits=%d acks=%d"
+      r.Net.accepted (ints r.Net.rejecting) (ints r.Net.crashed_nodes) r.Net.heard r.Net.stats.Net.sent
+      r.Net.stats.Net.delivered r.Net.stats.Net.dropped r.Net.stats.Net.corrupted
+      r.Net.stats.Net.duplicated r.Net.stats.Net.late r.Net.stats.Net.retransmits r.Net.stats.Net.acks
+  in
+  Printf.printf "%-22s %9s %8s %7s %9s %10s %7s %10s\n" "family" "n" "shards" "windows" "events"
+    "cross" "accept" "events/s";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (fam, gen) ->
+          let g = gen n in
+          let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent:(tree_parent g) in
+          let reference = ref None in
+          List.iter
+            (fun shards ->
+              let t0 = Unix.gettimeofday () in
+              let r, st =
+                Shard.execute_ex ~shards ~jobs:(jobs ()) ~rng:(Rng.create 42) ~model:Fault.reliable
+                  proto
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              let rendered = render r in
+              let invariant =
+                match !reference with
+                | None ->
+                    reference := Some rendered;
+                    true
+                | Some base -> String.equal base rendered
+              in
+              let eps = float_of_int st.Shard.events /. wall in
+              let cross_frac =
+                if st.Shard.events = 0 then 0.
+                else float_of_int st.Shard.cross_messages /. float_of_int st.Shard.events
+              in
+              if not r.Net.accepted then
+                failwith (Printf.sprintf "shard bench: %s n=%d rejected a yes-instance" fam n);
+              if not invariant then
+                failwith
+                  (Printf.sprintf "shard bench: %s n=%d result differs at %d shards" fam n shards);
+              Printf.printf "%-22s %9d %8d %7d %9d %10.4f %7b %10.0f\n" fam n st.Shard.shards
+                st.Shard.windows st.Shard.events cross_frac r.Net.accepted eps;
+              rows :=
+                (fam, n, Graph.m g, st, cross_frac, r.Net.accepted, r.Net.heard, invariant, wall, eps)
+                :: !rows)
+            shard_grid;
+          (* the single-queue engine must agree bit-for-bit under reliable *)
+          let net_r = Net.execute ~rng:(Rng.create 42) ~model:Fault.reliable proto in
+          if not (String.equal (render net_r) (Option.get !reference)) then
+            failwith (Printf.sprintf "shard bench: %s n=%d diverges from Net.execute" fam n))
+        families)
+    ladder;
+  (* faulty probe: shard count, worker count and partition seed must not
+     change the result even when the fault streams are active *)
+  let probe_g = Gen.triangulated_grid ~n:1_000 1 in
+  let probe = Net_protocols.pls_spanning_tree ~graph:probe_g ~parent:(tree_parent probe_g) in
+  let probe_run ~shards ~jobs ~partition_seed =
+    render
+      (Shard.execute ~shards ~jobs ~partition_seed ~rng:(Rng.create 7) ~model:(Fault.chaos ~rate:0.05)
+         probe)
+  in
+  let probe_base = probe_run ~shards:1 ~jobs:1 ~partition_seed:0 in
+  let probe_ok =
+    List.for_all
+      (fun (shards, jobs, partition_seed) ->
+        String.equal probe_base (probe_run ~shards ~jobs ~partition_seed))
+      [ (2, 1, 0); (4, 2, 0); (8, 4, 0); (4, 4, 3); (8, 1, 11) ]
+  in
+  Printf.printf "faulty probe (chaos 0.05, n=1000): %s\n"
+    (if probe_ok then "invariant across shards/jobs/partition seeds" else "DIVERGED");
+  if not probe_ok then failwith "shard bench: faulty probe diverged";
+  let rows = List.rev !rows in
+  let find_eps fam n shards =
+    List.find_map
+      (fun (f, n', _, st, _, _, _, _, _, eps) ->
+        if String.equal f fam && n' = n && st.Shard.shards = shards then Some eps else None)
+      rows
+  in
+  let speedup =
+    match (find_eps "triangulated-grid" 100_000 8, find_eps "triangulated-grid" 100_000 1) with
+    | Some e8, Some e1 when e1 > 0. -> e8 /. e1
+    | _ -> 0.
+  in
+  Printf.printf "8-shard vs 1-shard events/s at n=100000 (grid): %.2fx (on %d core(s))\n" speedup
+    (Domain.recommended_domain_count ());
+  let out =
+    match Sys.getenv_opt "DIPP_SHARD_OUT" with Some p -> p | None -> "BENCH_shard.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\"bench\": \"shard\",\n";
+  Printf.fprintf oc " \"ladder\": [%s],\n" (String.concat ", " (List.map string_of_int ladder));
+  Printf.fprintf oc " \"heavy\": %b,\n" heavy;
+  Printf.fprintf oc " \"shard_grid\": [%s],\n"
+    (String.concat ", " (List.map string_of_int shard_grid));
+  Printf.fprintf oc " \"probe_invariant\": %b,\n" probe_ok;
+  Printf.fprintf oc " \"rows\": [";
+  List.iteri
+    (fun i (fam, n, m, st, cross_frac, accepted, heard, invariant, _, _) ->
+      Printf.fprintf oc
+        "%s\n\
+        \  {\"family\": \"%s\", \"n\": %d, \"m\": %d, \"shards\": %d, \"windows\": %d, \
+         \"events\": %d, \"cross_messages\": %d, \"cross_fraction\": %.6f, \"accepted\": %b, \
+         \"heard\": %.6f, \"invariant\": %b}"
+        (if i = 0 then "" else ",")
+        fam n m st.Shard.shards st.Shard.windows st.Shard.events st.Shard.cross_messages cross_frac
+        accepted heard invariant)
+    rows;
+  Printf.fprintf oc "\n ],\n";
+  Printf.fprintf oc " \"timing\": {\"jobs\": %d, \"cores\": %d, \"speedup_8v1_grid_1e5\": %.4f,\n"
+    (jobs ())
+    (Domain.recommended_domain_count ())
+    speedup;
+  Printf.fprintf oc "  \"rows\": [";
+  List.iteri
+    (fun i (fam, n, _, st, _, _, _, _, wall, eps) ->
+      Printf.fprintf oc
+        "%s\n   {\"family\": \"%s\", \"n\": %d, \"shards\": %d, \"wall_s\": %.6f, \
+         \"events_per_sec\": %.1f}"
+        (if i = 0 then "" else ",")
+        fam n st.Shard.shards wall eps)
+    rows;
+  Printf.fprintf oc "\n  ]}}\n";
+  close_out oc;
+  Printf.printf "wrote %s: %d rows (heavy=%b)\n" out (List.length rows) heavy
+
 (* The one command table: execution order, dispatch, and the usage text
    all come from this list, so a new experiment needs exactly one row. *)
 let commands =
@@ -1014,6 +1171,7 @@ let commands =
     ("faults", "fault-injection sweep -> faults_report.json", faults);
     ("analysis", "static-analyzer pass timings -> BENCH_analysis.json", analysis);
     ("serve", "batched verification service -> BENCH_serve.json", serve);
+    ("shard", "sharded network engine scaling -> BENCH_shard.json", shard);
   ]
 
 let find_command p =

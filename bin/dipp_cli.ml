@@ -10,7 +10,8 @@
      dipp record -e E3 -s 7 -o E3.trace
      dipp replay E3.trace
      dipp audit E3.trace other.trace
-     dipp serve requests.txt --jobs 4 --codec flat *)
+     dipp serve requests.txt --jobs 4 --codec flat
+     dipp net net.txt --shards 4 --model drop --rate 0.05 *)
 
 open Dipp
 open Cmdliner
@@ -388,6 +389,94 @@ let serve_cmd =
           runs cached, batches fanned over the domain pool).")
     Term.(const run $ stream_arg $ jobs_arg $ codec_arg)
 
+(* ---- net (execute on the fault-injecting network runtime) ------------------------ *)
+
+let net_run_cmd =
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Shard count for the partitioned engine (default: \\$(b,DIPP_SHARDS) or 4); 0 runs \
+             the single-queue engine.  The verdict is identical for every K >= 1.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker-domain count for the sharded engine.")
+  in
+  let pseed_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "partition-seed" ] ~docv:"S"
+          ~doc:"Partition seed (never changes the verdict, only the block layout).")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt string "reliable"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Fault model: reliable, drop, corrupt, duplicate, delay, crash, chaos.")
+  in
+  let rate_arg = Arg.(value & opt float 0.05 & info [ "rate" ] ~docv:"R" ~doc:"Fault rate.") in
+  let proto_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pls", `Pls); ("st", `St) ]) `Pls
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:
+            "Protocol to execute: pls (distance-labeling PLS) or st (Lemma 2.5 spanning-tree \
+             verification).")
+  in
+  let run file proto_kind shards jobs partition_seed model_name rate seed =
+    let g = Graph_io.read_file file in
+    let parent =
+      let p = Traversal.spanning_tree g 0 in
+      Array.mapi (fun v pv -> if pv = v then -1 else pv) p
+    in
+    let proto =
+      match proto_kind with
+      | `Pls -> Net_protocols.pls_spanning_tree ~graph:g ~parent
+      | `St -> Net_protocols.st_verify ~seed g ~parent
+    in
+    let model =
+      match Fault.by_name model_name ~rate with
+      | Some m -> m
+      | None ->
+          Printf.eprintf "unknown fault model %s\n" model_name;
+          exit 2
+    in
+    let rng = Rng.create seed in
+    let r =
+      match shards with
+      | Some 0 -> Net.execute ~rng ~model proto
+      | _ ->
+          let r, st = Shard.execute_ex ?shards ?jobs ~partition_seed ~rng ~model proto in
+          Printf.printf "shards=%d windows=%d events=%d cross=%d\n" st.Shard.shards
+            st.Shard.windows st.Shard.events st.Shard.cross_messages;
+          r
+    in
+    Printf.printf "%s on %s (n=%d m=%d): %s\n"
+      (match proto_kind with `Pls -> "pls-spanning-tree" | `St -> "st-verify")
+      model_name (Graph.n g) (Graph.m g)
+      (if r.Net.accepted then "ACCEPT" else "REJECT");
+    Printf.printf "heard=%.4f crashed=%d rejecting=%d\n" r.Net.heard
+      (List.length r.Net.crashed_nodes) (List.length r.Net.rejecting);
+    Format.printf "%a@." Net.pp_stats r.Net.stats;
+    if not r.Net.accepted then exit 1
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Execute a protocol on the discrete-event network runtime (sharded across Domains with \
+          --shards; verdicts are shard-count-invariant).")
+    Term.(
+      const run $ file_arg $ proto_arg $ shards_arg $ jobs_arg $ pseed_arg $ model_arg $ rate_arg
+      $ seed_arg)
+
 (* ---- lower-bound --------------------------------------------------------------- *)
 
 let lb_cmd =
@@ -411,4 +500,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd; record_cmd; replay_cmd; audit_cmd; serve_cmd ]))
+          [ gen_cmd; check_cmd; prove_cmd; certify_cmd; dot_cmd; lb_cmd; record_cmd; replay_cmd; audit_cmd; serve_cmd; net_run_cmd ]))

@@ -25,6 +25,7 @@
 module Bits = Dipp_util.Bits
 module Bits_flat = Dipp_util.Bits_flat
 module Rng = Dipp_util.Rng
+module Min_heap = Dipp_util.Min_heap
 module Prime = Dipp_util.Prime
 module Fp = Dipp_util.Fp
 module Poly = Dipp_util.Poly
@@ -34,6 +35,7 @@ module Sha256 = Dipp_util.Sha256
 module Graph = Dipp_graph.Graph
 module Digraph = Dipp_graph.Digraph
 module Traversal = Dipp_graph.Traversal
+module Partition = Dipp_graph.Partition
 module Biconnectivity = Dipp_graph.Biconnectivity
 module Degeneracy = Dipp_graph.Degeneracy
 module Coloring = Dipp_graph.Coloring
@@ -71,6 +73,7 @@ module Soundness = Dipp_engine.Soundness
 (* fault-injecting network runtime *)
 module Fault = Dipp_net.Fault
 module Net = Dipp_net.Net
+module Shard = Dipp_net.Shard
 module Net_protocols = Dipp_net.Net_protocols
 module Fault_sweep = Dipp_engine.Fault_sweep
 

@@ -13,6 +13,7 @@ module Prime = Dipp_util.Prime
 module Fp = Dipp_util.Fp
 module Poly = Dipp_util.Poly
 module Sha256 = Dipp_util.Sha256
+module Min_heap = Dipp_util.Min_heap
 
 (* graph substrate *)
 module Graph = Dipp_graph.Graph
@@ -26,6 +27,7 @@ module Rotation = Dipp_graph.Rotation
 module Planar_test = Dipp_graph.Planarity
 module Outerplanar = Dipp_graph.Outerplanar
 module Series_parallel = Dipp_graph.Series_parallel
+module Partition = Dipp_graph.Partition
 
 (* generators *)
 module Gen = Dipp_gen.Gen
@@ -55,6 +57,7 @@ module Soundness = Dipp_engine.Soundness
 (* fault-injecting network runtime *)
 module Fault = Dipp_net.Fault
 module Net = Dipp_net.Net
+module Shard = Dipp_net.Shard
 module Net_protocols = Dipp_net.Net_protocols
 module Fault_sweep = Dipp_engine.Fault_sweep
 

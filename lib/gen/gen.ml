@@ -170,6 +170,113 @@ let nonplanar_k33 ~n seed =
   done;
   Graph.create ~n ((!edges |> List.map (fun (a, b) -> Graph.normalize_edge a b)) @ Graph.edges g)
 
+(* ------------------------------------------------------------------ *)
+(* Large-scale planar families (the sharded-engine size ladder)        *)
+(* ------------------------------------------------------------------ *)
+
+(* All four builders below assemble a flat edge array and construct
+   through Graph.of_edge_array's two-pass CSR build — no per-edge lists,
+   no O(n^2) face scans — so the 10^6 rung of the ladder materializes in
+   seconds. *)
+
+(* [n] exact: a side x side grid with one random diagonal per cell
+   (planar, degree <= 8) and the n - side^2 leftover nodes trailing as a
+   path off the last grid corner (still planar and connected). *)
+let triangulated_grid ~n seed =
+  if n < 4 then invalid_arg "Gen.triangulated_grid";
+  let rng = Rng.create seed in
+  let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+  let base = side * side in
+  let leftover = n - base in
+  let ec = (2 * side * (side - 1)) + ((side - 1) * (side - 1)) + leftover in
+  let edges = Array.make ec (0, 0) in
+  let w = ref 0 in
+  let put e =
+    edges.(!w) <- e;
+    incr w
+  in
+  let id r c = (r * side) + c in
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      if c + 1 < side then put (id r c, id r (c + 1));
+      if r + 1 < side then put (id r c, id (r + 1) c);
+      if c + 1 < side && r + 1 < side then
+        if Rng.bool rng then put (id r c, id (r + 1) (c + 1))
+        else put (id r (c + 1), id (r + 1) c)
+    done
+  done;
+  for v = base to n - 1 do
+    put (v - 1, v)
+  done;
+  Graph.of_edge_array ~n edges
+
+(* Apollonian stacked triangulation with an array-backed face pool:
+   pick a random face, split it into three — O(1) per node, maximal
+   planar (m = 3n - 6). *)
+let nested_triangulation ~n seed =
+  if n < 3 then invalid_arg "Gen.nested_triangulation";
+  let rng = Rng.create seed in
+  let edges = Array.make (3 + (3 * (n - 3))) (0, 0) in
+  edges.(0) <- (0, 1);
+  edges.(1) <- (1, 2);
+  edges.(2) <- (0, 2);
+  let nfaces = 1 + (2 * (n - 3)) in
+  let fa = Array.make (max 1 nfaces) 0 in
+  let fb = Array.make (max 1 nfaces) 0 in
+  let fc = Array.make (max 1 nfaces) 0 in
+  fa.(0) <- 0;
+  fb.(0) <- 1;
+  fc.(0) <- 2;
+  let faces = ref 1 in
+  for v = 3 to n - 1 do
+    let k = Rng.int rng !faces in
+    let a = fa.(k) and b = fb.(k) and c = fc.(k) in
+    let e = 3 + (3 * (v - 3)) in
+    edges.(e) <- (a, v);
+    edges.(e + 1) <- (b, v);
+    edges.(e + 2) <- (c, v);
+    (* replace face k with (a, b, v); append (a, c, v) and (b, c, v) *)
+    fc.(k) <- v;
+    fa.(!faces) <- a;
+    fb.(!faces) <- c;
+    fc.(!faces) <- v;
+    fa.(!faces + 1) <- b;
+    fb.(!faces + 1) <- c;
+    fc.(!faces + 1) <- v;
+    faces := !faces + 2
+  done;
+  Graph.of_edge_array ~n edges
+
+(* A once-subdivided K5 (5 branch + 10 middle nodes) attached to node 0 of
+   a planar base — the matching no-instances for the two families above. *)
+let splice_k5 ~n base_graph =
+  let base = n - 15 in
+  (* 1 attachment edge + 10 subdivided K5 edges of 2 segments each *)
+  let extra = Array.make 21 (0, 0) in
+  let w = ref 0 in
+  extra.(0) <- (0, base);
+  incr w;
+  let mid = ref (base + 5) in
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      let m = !mid in
+      incr mid;
+      extra.(!w) <- (base + i, m);
+      extra.(!w + 1) <- (m, base + j);
+      w := !w + 2
+    done
+  done;
+  let base_edges = Array.of_list (Graph.edges base_graph) in
+  Graph.of_edge_array ~n (Array.append base_edges extra)
+
+let triangulated_grid_no ~n seed =
+  if n < 20 then invalid_arg "Gen.triangulated_grid_no";
+  splice_k5 ~n (triangulated_grid ~n:(n - 15) seed)
+
+let nested_triangulation_no ~n seed =
+  if n < 18 then invalid_arg "Gen.nested_triangulation_no";
+  splice_k5 ~n (nested_triangulation ~n:(n - 15) seed)
+
 let embedding g = Planarity.embed g
 
 let corrupted_embedding g seed =

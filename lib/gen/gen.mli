@@ -52,6 +52,26 @@ val planar_bounded_degree : n:int -> int -> Graph.t
 val nonplanar : n:int -> int -> Graph.t
 (** A planar base with a subdivided K5 spliced in. *)
 
+val triangulated_grid : n:int -> int -> Graph.t
+(** Exactly [n] nodes: a [side x side] grid ([side = floor (sqrt n)])
+    with one seeded random diagonal per cell (planar, max degree <= 8)
+    and the leftover nodes trailing as a path off the last corner.  Flat
+    CSR construction — the yes-instance family for the sharded engine's
+    10^3..10^6 size ladder. *)
+
+val nested_triangulation : n:int -> int -> Graph.t
+(** Apollonian stacked triangulation with an O(1) array-backed face pool:
+    maximal planar ([m = 3n - 6]), unbounded degree — the ladder's dense
+    counterpart to {!triangulated_grid}. *)
+
+val triangulated_grid_no : n:int -> int -> Graph.t
+(** {!triangulated_grid} on [n - 15] nodes plus a once-subdivided K5
+    attached to node 0: nonplanar, same scale. *)
+
+val nested_triangulation_no : n:int -> int -> Graph.t
+(** {!nested_triangulation} on [n - 15] nodes plus a once-subdivided K5
+    attached to node 0: nonplanar, same scale. *)
+
 val nonplanar_k33 : n:int -> int -> Graph.t
 (** A planar base with a subdivided K3,3 spliced in (the other Kuratowski
     obstruction). *)

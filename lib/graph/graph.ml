@@ -22,29 +22,54 @@ let dedup_edges n es =
       Edge_set.add (normalize_edge u v) acc)
     Edge_set.empty es
 
-let of_edge_set n set =
+(* Two-pass CSR-style build: count degrees, fill adjacency in place, then
+   sort and dedup each row.  No intermediate per-node lists and no balanced
+   set — O(m + sum_v d_v log d_v) with flat arrays only, which is what lets
+   the 10^6-node generators and the streaming edge-list parser construct
+   graphs in seconds.  Validation messages match the historical
+   [dedup_edges] path byte for byte. *)
+let of_edge_array ~n es =
+  if n < 0 then invalid_arg "Graph.create";
   let deg = Array.make n 0 in
-  Edge_set.iter
+  Array.iter
     (fun (u, v) ->
+      if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Graph: node out of range";
+      if u = v then invalid_arg "Graph: self-loop";
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
-    set;
+    es;
   let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
   let fill = Array.make n 0 in
-  (* Iterating the set in order fills each adjacency array sorted. *)
-  Edge_set.iter
+  Array.iter
     (fun (u, v) ->
       adj.(u).(fill.(u)) <- v;
       fill.(u) <- fill.(u) + 1;
       adj.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
-    set;
-  Array.iter (fun a -> Array.sort Int.compare a) adj;
-  { n; adj; m = Edge_set.cardinal set }
+    es;
+  let entries = ref 0 in
+  for v = 0 to n - 1 do
+    let a = adj.(v) in
+    let len = Array.length a in
+    if len > 0 then begin
+      Array.sort Int.compare a;
+      (* compact duplicates in place, then trim *)
+      let w = ref 1 in
+      for i = 1 to len - 1 do
+        if a.(i) <> a.(!w - 1) then begin
+          a.(!w) <- a.(i);
+          incr w
+        end
+      done;
+      if !w < len then adj.(v) <- Array.sub a 0 !w;
+      entries := !entries + !w
+    end
+  done;
+  { n; adj; m = !entries / 2 }
 
 let create ~n es =
   if n < 0 then invalid_arg "Graph.create";
-  of_edge_set n (dedup_edges n es)
+  of_edge_array ~n (Array.of_list es)
 
 let n t = t.n
 let m t = t.m

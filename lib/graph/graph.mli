@@ -14,6 +14,14 @@ val create : n:int -> edge list -> t
 (** Builds a graph.  Duplicate edges are collapsed; self-loops are
     rejected ([Invalid_argument]). *)
 
+val of_edge_array : n:int -> (int * int) array -> t
+(** Like {!create} on an edge array, via a two-pass CSR-style build
+    (degree count, in-place fill, per-row sort + dedup) with no
+    intermediate per-node lists — the constructor for 10^5..10^6-node
+    instances.  Endpoints may come in either order; duplicates are
+    collapsed and self-loops / out-of-range ids are rejected with the
+    same messages as {!create}. *)
+
 val n : t -> int
 (** Number of nodes. *)
 

@@ -39,16 +39,13 @@ type result = {
 
 (* ---- deterministic event queue --------------------------------------- *)
 
-(* Events are ordered by (time, insertion sequence).  The simulation is
-   single-threaded and inserts in a fixed order, so the sequence numbers —
-   and hence the whole processing order — are a pure function of the
-   protocol, config, fault model and seed. *)
-module Q = Map.Make (struct
-  type t = int * int
-
-  let compare (t1, s1) (t2, s2) =
-    match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
-end)
+(* Events are ordered by (time, insertion sequence) on an array-backed
+   binary min-heap ({!Dipp_util.Min_heap}).  The simulation is
+   single-threaded and inserts in a fixed order, so the sequence numbers
+   are unique, the heap's pop order is exactly the (time, seq) total order
+   (no equal keys ever meet), and the whole processing order — hence every
+   report byte — is a pure function of the protocol, config, fault model
+   and seed, exactly as it was with the previous balanced-tree queue. *)
 
 type event =
   | Send of { src : int; dst : int; round : int; attempt : int }
@@ -56,7 +53,7 @@ type event =
   | Ack of { src : int; dst : int; round : int }
 
 type state = {
-  queue : event Q.t ref;
+  queue : event Min_heap.t;
   seq : int ref;
   (* per directed link, the next delivery index (fault-stream key) *)
   link_ix : (int * int, int ref) Hashtbl.t;
@@ -77,7 +74,7 @@ type state = {
 
 let push st ~at ev =
   incr st.seq;
-  st.queue := Q.add (at, !(st.seq)) ev !(st.queue)
+  Min_heap.push st.queue ~k0:at ~k1:!(st.seq) ~k2:0 ev
 
 let next_ix st u v =
   match Hashtbl.find_opt st.link_ix (u, v) with
@@ -121,7 +118,7 @@ let execute ?(config = default_config) ?(mode = Strict) ~rng ~model proto =
   done;
   let st =
     {
-      queue = ref Q.empty;
+      queue = Min_heap.create ~capacity:1024 ~dummy:(Ack { src = 0; dst = 0; round = 0 }) ();
       seq = ref 0;
       link_ix = Hashtbl.create 64;
       acked = Hashtbl.create 64;
@@ -181,10 +178,9 @@ let execute ?(config = default_config) ?(mode = Strict) ~rng ~model proto =
         Hashtbl.replace st.acked (src, dst, round) ()
   in
   let rec drain () =
-    match Q.min_binding_opt !(st.queue) with
+    match Min_heap.pop_min st.queue with
     | None -> ()
-    | Some (((at, _) as key), ev) ->
-        st.queue := Q.remove key !(st.queue);
+    | Some (at, _, _, ev) ->
         handle at ev;
         drain ()
   in

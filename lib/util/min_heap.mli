@@ -1,0 +1,35 @@
+(** Array-backed binary min-heap with a fixed three-integer key.
+
+    Entries are ordered by the lexicographic order on [(k0, k1, k2)].  The
+    pop order among entries with {e equal} keys is unspecified (it depends
+    on insertion order), so callers that need a total processing order must
+    make keys unique — the event engines do: {!Dipp_net.Net} keys events by
+    [(time, seq, 0)] with a unique sequence number, and {!Dipp_net.Shard}
+    by a structural key that is unique for every non-commuting event pair.
+
+    The backing arrays grow geometrically and never shrink; popped value
+    slots are overwritten with the [dummy] given at creation so the heap
+    retains no hidden pointers to retired payloads. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** Fresh empty heap.  [capacity] (default 16) pre-sizes the arrays. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> k0:int -> k1:int -> k2:int -> 'a -> unit
+(** Inserts; O(log size). *)
+
+val min_key : 'a t -> (int * int * int) option
+(** The smallest key, without removing it. *)
+
+val min_k0 : 'a t -> int option
+(** First component of the smallest key (the "time" in both engines). *)
+
+val pop_min : 'a t -> (int * int * int * 'a) option
+(** Removes and returns the entry with the smallest key; O(log size). *)
+
+val clear : 'a t -> unit
+(** Empties the heap, overwriting retained values with [dummy]. *)

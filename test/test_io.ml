@@ -40,6 +40,38 @@ let test_read_file_error () =
     (fun () -> ignore (Graph_io.read_file path));
   Sys.remove path
 
+let test_read_file_range_error () =
+  (* the streaming reader holds only (line, u, v) triples, so a range
+     violation against a later-declared bound must still name the line the
+     edge came from *)
+  let path = Filename.temp_file "dipp" ".txt" in
+  let oc = open_out path in
+  output_string oc "n 3\n0 1\n1 5\n2 0\n";
+  close_out oc;
+  Alcotest.check_raises "stored line number"
+    (Invalid_argument (path ^ ": Graph_io: line 3: node id 5 out of range (n = 3)"))
+    (fun () -> ignore (Graph_io.read_file path));
+  Sys.remove path
+
+let test_read_file_streams_large () =
+  (* a file bigger than any parser chunk: the two-pass CSR build must
+     produce the same graph the string parser does *)
+  let n = 20_000 in
+  let buf = Buffer.create (n * 12) in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  for v = 1 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d %d\n" v (v / 2))
+  done;
+  let text = Buffer.contents buf in
+  let path = Filename.temp_file "dipp" ".txt" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+  let g = Graph_io.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "n" n (Graph.n g);
+  Alcotest.(check int) "m" (n - 1) (Graph.m g);
+  Alcotest.(check bool) "same graph as the string parser" true
+    (Graph.equal g (Graph_io.parse_edge_list text))
+
 let prop_io_roundtrip =
   QCheck.Test.make ~name:"graph_io: to_edge_list / parse roundtrip" ~count:40
     QCheck.(pair (int_bound 10000) (int_range 5 60))
@@ -202,6 +234,9 @@ let () =
           Alcotest.test_case "inline comment" `Quick test_parse_inline_comment;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "read_file error" `Quick test_read_file_error;
+          Alcotest.test_case "read_file range error line number" `Quick
+            test_read_file_range_error;
+          Alcotest.test_case "read_file streams a large file" `Quick test_read_file_streams_large;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "dot" `Quick test_dot_output;
           qtest prop_io_roundtrip;

@@ -1,0 +1,285 @@
+(* The sharded network engine (lib/net/shard.ml) and its partitioner
+   (lib/graph/partition.ml).
+
+   Contracts under test:
+   - partition invariants: blocks cover the nodes, are pairwise disjoint,
+     respect the size cap, agree with [block]/[pos], and recount the cut;
+     the partition is a pure function of (graph, blocks, seed);
+   - engine equivalence: under a reliable network the sharded engine and
+     the single-queue engine agree bit-for-bit, on every protocol tier;
+   - result invariance: the rendered result is identical across shard
+     counts 1/2/8, worker counts 1/2, and partition seeds, under every
+     fault model — the tentpole determinism contract (shard.mli);
+   - sweep integration: a sharded family's point is byte-identical for
+     any ?shards value handed to run_point;
+   - scale: a 10^6-node ladder instance completes a full round-trip
+     (behind DIPP_HEAVY=1; the 10^4 smoke always runs). *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let seed = 1234
+
+let planar_instance n =
+  let g = Gen.planar ~n 7 in
+  let parent =
+    Array.mapi (fun v pv -> if pv = v then -1 else pv) (Traversal.spanning_tree g 0)
+  in
+  (g, parent)
+
+let render (r : Net.result) =
+  Format.asprintf "%b [%a] [%a] %.17g %a" r.Net.accepted
+    (Format.pp_print_list Format.pp_print_int)
+    r.Net.rejecting
+    (Format.pp_print_list Format.pp_print_int)
+    r.Net.crashed_nodes r.Net.heard Net.pp_stats r.Net.stats
+
+(* ---- partition invariants ---------------------------------------------- *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (s, n, extra, blocks, pseed) ->
+      Printf.sprintf "seed=%d n=%d extra=%d blocks=%d pseed=%d" s n extra blocks pseed)
+    QCheck.Gen.(
+      map
+        (fun ((s, n, extra), (blocks, pseed)) -> (s, n, extra, blocks, pseed))
+        (pair (triple (int_bound 10000) (int_range 1 80) (int_bound 60)) (pair (int_range 1 12) (int_bound 1000))))
+
+let random_graph s n extra =
+  (* a random tree plus [extra] random edges: connected unless extra
+     collides, mixed degrees, self-loop-free by construction *)
+  let rng = Rng.create s in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, Rng.int rng v) :: !edges
+  done;
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Graph.create ~n !edges
+
+let prop_partition_invariants =
+  QCheck.Test.make ~name:"partition: cover/disjoint/cap/pos/cut invariants" ~count:200 graph_arb
+    (fun (s, n, extra, blocks, pseed) ->
+      let g = random_graph s n extra in
+      let p = Partition.make ~seed:pseed ~blocks g in
+      let k = p.Partition.nblocks in
+      if k < 1 || k > min blocks n then QCheck.Test.fail_report "nblocks out of range";
+      (* cover + disjoint: every node appears in exactly the block and slot
+         that [block]/[pos] claim *)
+      let seen = Array.make n 0 in
+      Array.iteri
+        (fun b members ->
+          Array.iteri
+            (fun i v ->
+              seen.(v) <- seen.(v) + 1;
+              if p.Partition.block.(v) <> b then QCheck.Test.fail_report "block mismatch";
+              if p.Partition.pos.(v) <> i then QCheck.Test.fail_report "pos mismatch")
+            members)
+        p.Partition.blocks;
+      if Array.exists (fun c -> c <> 1) seen then QCheck.Test.fail_report "not a partition";
+      (* the size cap *)
+      let cap = (n + k - 1) / k in
+      Array.iter
+        (fun members ->
+          if Array.length members > cap then QCheck.Test.fail_report "cap exceeded")
+        p.Partition.blocks;
+      (* cut recount *)
+      let cut = ref 0 in
+      Graph.iter_edges
+        (fun (u, v) -> if p.Partition.block.(u) <> p.Partition.block.(v) then incr cut)
+        g;
+      if !cut <> p.Partition.cut_edges then QCheck.Test.fail_report "cut miscount";
+      true)
+
+let prop_partition_seed_pure =
+  QCheck.Test.make ~name:"partition: pure function of (graph, blocks, seed)" ~count:100 graph_arb
+    (fun (s, n, extra, blocks, pseed) ->
+      let g = random_graph s n extra in
+      let p1 = Partition.make ~seed:pseed ~blocks g in
+      let p2 = Partition.make ~seed:pseed ~blocks g in
+      p1.Partition.block = p2.Partition.block
+      && p1.Partition.blocks = p2.Partition.blocks
+      && p1.Partition.cut_edges = p2.Partition.cut_edges)
+
+let test_partition_blocks_sorted () =
+  let g = random_graph 3 50 30 in
+  let p = Partition.make ~seed:5 ~blocks:4 g in
+  Array.iter
+    (fun members ->
+      Array.iteri
+        (fun i v -> if i > 0 then Alcotest.(check bool) "members ascending" true (members.(i - 1) < v))
+        members)
+    p.Partition.blocks
+
+(* ---- engine equivalence (reliable network) ----------------------------- *)
+
+let protocols () =
+  let g, parent = planar_instance 60 in
+  [
+    Net_protocols.pls_spanning_tree ~graph:g ~parent;
+    Net_protocols.st_verify ~reps:3 ~seed:5 g ~parent;
+    (let r = Planarity.run ~seed:3 ~prover:Planarity.Honest { Planarity.graph = g } in
+     Net_protocols.transport ~name:"planarity" ~graph:g ~stats:r.Planarity.stats
+       ~verdict:r.Planarity.verdict);
+  ]
+
+let test_reliable_matches_net () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun mode ->
+          let net = Net.execute ~mode ~rng:(Rng.create seed) ~model:Fault.reliable proto in
+          let shard =
+            Shard.execute ~mode ~shards:4 ~jobs:2 ~rng:(Rng.create seed) ~model:Fault.reliable
+              proto
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: sharded == single-queue under reliable" proto.Net.name)
+            (render net) (render shard))
+        [ Net.Strict; Net.Degrade { quorum = 0.8 } ])
+    (protocols ())
+
+(* ---- result invariance under faults ------------------------------------ *)
+
+let models = [ Fault.drop ~rate:0.2; Fault.chaos ~rate:0.1; Fault.crash ~rate:0.05 ]
+
+let test_invariant_across_shards_jobs_seeds () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.st_verify ~reps:3 ~seed:5 g ~parent in
+  List.iteri
+    (fun mi model ->
+      let run ~shards ~jobs ~partition_seed =
+        render (Shard.execute ~shards ~jobs ~partition_seed ~rng:(Rng.create seed) ~model proto)
+      in
+      let base = run ~shards:1 ~jobs:1 ~partition_seed:0 in
+      List.iter
+        (fun (shards, jobs, partition_seed) ->
+          Alcotest.(check string)
+            (Printf.sprintf "model %d: shards=%d jobs=%d pseed=%d invariant" mi shards jobs
+               partition_seed)
+            base
+            (run ~shards ~jobs ~partition_seed))
+        [ (2, 1, 0); (2, 2, 0); (8, 1, 0); (8, 2, 0); (4, 2, 9); (8, 2, 77) ])
+    models
+
+let test_stats_shape () =
+  let g, parent = planar_instance 60 in
+  let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let r, st =
+    Shard.execute_ex ~shards:4 ~jobs:2 ~rng:(Rng.create seed) ~model:Fault.reliable proto
+  in
+  Alcotest.(check bool) "accepted" true r.Net.accepted;
+  Alcotest.(check int) "4 shards used" 4 st.Shard.shards;
+  Alcotest.(check bool) "some windows ran" true (st.Shard.windows > 0);
+  Alcotest.(check bool) "events processed" true (st.Shard.events > 0);
+  Alcotest.(check bool) "cross-shard traffic exists" true (st.Shard.cross_messages > 0);
+  (* one shard: everything is local *)
+  let _, st1 = Shard.execute_ex ~shards:1 ~rng:(Rng.create seed) ~model:Fault.reliable proto in
+  Alcotest.(check int) "1 shard: no cross traffic" 0 st1.Shard.cross_messages
+
+let test_shards_clamped_to_n () =
+  let g = Graph.path_graph 3 in
+  let parent = [| -1; 0; 1 |] in
+  let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+  let r, st =
+    Shard.execute_ex ~shards:64 ~rng:(Rng.create seed) ~model:Fault.reliable proto
+  in
+  Alcotest.(check bool) "tiny graph accepts" true r.Net.accepted;
+  Alcotest.(check bool) "shards clamped to n" true (st.Shard.shards <= 3)
+
+(* ---- sweep integration -------------------------------------------------- *)
+
+let test_run_point_shards_invariant () =
+  let fam = Fault_sweep.sharded (Fault_sweep.pls_family ~n:40) in
+  let point ?shards () =
+    let p =
+      Fault_sweep.run_point ?shards ~jobs:2 ~seed fam (Fault.drop ~rate:0.2) 0.2
+        Fault_sweep.Strict 4
+    in
+    Fault_sweep.report_string ~seed [ p ]
+  in
+  let base = point ~shards:1 () in
+  Alcotest.(check string) "shards=2 byte-identical" base (point ~shards:2 ());
+  Alcotest.(check string) "shards=8 byte-identical" base (point ~shards:8 ());
+  Alcotest.(check bool) "family id carries /shard" true
+    (String.length fam.Fault_sweep.fam_id > 6
+    && String.sub fam.Fault_sweep.fam_id (String.length fam.Fault_sweep.fam_id - 6) 6 = "/shard")
+
+(* ---- scale -------------------------------------------------------------- *)
+
+let ladder_smoke n =
+  List.iter
+    (fun (name, g) ->
+      let parent =
+        Array.mapi (fun v pv -> if pv = v then -1 else pv) (Traversal.spanning_tree g 0)
+      in
+      let proto = Net_protocols.pls_spanning_tree ~graph:g ~parent in
+      let r, st =
+        Shard.execute_ex ~shards:4 ~jobs:2 ~rng:(Rng.create 42) ~model:Fault.reliable proto
+      in
+      Alcotest.(check bool) (Printf.sprintf "%s n=%d accepts" name n) true r.Net.accepted;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s n=%d events scale with n" name n)
+        true
+        (st.Shard.events > 2 * n))
+    [ ("triangulated-grid", Gen.triangulated_grid ~n 1);
+      ("nested-triangulation", Gen.nested_triangulation ~n 1) ]
+
+let test_ladder_smoke () = ladder_smoke 10_000
+
+let test_million_round_trip () =
+  match Sys.getenv_opt "DIPP_HEAVY" with
+  | Some "1" -> ladder_smoke 1_000_000
+  | Some _ | None -> ()
+
+let test_generators_planarity () =
+  List.iter
+    (fun n ->
+      let g = Gen.triangulated_grid ~n 3 in
+      Alcotest.(check int) "grid: exact n" n (Graph.n g);
+      Alcotest.(check bool) "grid: planar" true (Option.is_some (Planar_test.embed g));
+      let g = Gen.nested_triangulation ~n 3 in
+      Alcotest.(check int) "nested: exact n" n (Graph.n g);
+      Alcotest.(check int) "nested: maximal planar m" ((3 * n) - 6) (Graph.m g);
+      Alcotest.(check bool) "nested: planar" true (Option.is_some (Planar_test.embed g)))
+    [ 20; 100; 500 ];
+  List.iter
+    (fun n ->
+      let g = Gen.triangulated_grid_no ~n 3 in
+      Alcotest.(check int) "grid-no: exact n" n (Graph.n g);
+      Alcotest.(check bool) "grid-no: nonplanar" true (Option.is_none (Planar_test.embed g));
+      let g = Gen.nested_triangulation_no ~n 3 in
+      Alcotest.(check int) "nested-no: exact n" n (Graph.n g);
+      Alcotest.(check bool) "nested-no: nonplanar" true (Option.is_none (Planar_test.embed g)))
+    [ 40; 200 ]
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "partition",
+        [
+          qtest prop_partition_invariants;
+          qtest prop_partition_seed_pure;
+          Alcotest.test_case "block members ascending" `Quick test_partition_blocks_sorted;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "reliable: sharded == single-queue" `Quick test_reliable_matches_net;
+          Alcotest.test_case "stats shape + cross traffic" `Quick test_stats_shape;
+          Alcotest.test_case "shards clamped to n" `Quick test_shards_clamped_to_n;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "faulty runs invariant across shards/jobs/partition seeds" `Quick
+            test_invariant_across_shards_jobs_seeds;
+          Alcotest.test_case "run_point byte-identical across ?shards" `Quick
+            test_run_point_shards_invariant;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "ladder generators: exact n, planarity" `Quick
+            test_generators_planarity;
+          Alcotest.test_case "10^4 ladder round-trip" `Quick test_ladder_smoke;
+          Alcotest.test_case "10^6 round-trip (DIPP_HEAVY=1)" `Slow test_million_round_trip;
+        ] );
+    ]

@@ -160,6 +160,66 @@ let prop_bits_append_length =
       let a = Bits.random rng (x mod 100) and b = Bits.random rng (y mod 100) in
       Bits.length (Bits.append a b) = Bits.length a + Bits.length b)
 
+(* ---- Min_heap ------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Min_heap.create ~capacity:2 ~dummy:"-" () in
+  Alcotest.(check bool) "fresh heap empty" true (Min_heap.is_empty h);
+  Min_heap.push h ~k0:3 ~k1:0 ~k2:0 "c";
+  Min_heap.push h ~k0:1 ~k1:2 ~k2:0 "b";
+  Min_heap.push h ~k0:1 ~k1:1 ~k2:9 "a";
+  Alcotest.(check int) "size" 3 (Min_heap.size h);
+  Alcotest.(check (option (triple int int int))) "min key" (Some (1, 1, 9)) (Min_heap.min_key h);
+  Alcotest.(check (option int)) "min k0" (Some 1) (Min_heap.min_k0 h);
+  (match Min_heap.pop_min h with
+  | Some (1, 1, 9, "a") -> ()
+  | _ -> Alcotest.fail "wrong min");
+  (match Min_heap.pop_min h with
+  | Some (1, 2, 0, "b") -> ()
+  | _ -> Alcotest.fail "wrong second");
+  Min_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Min_heap.is_empty h);
+  Alcotest.(check (option int)) "no min" None (Min_heap.min_k0 h)
+
+let prop_heap_pop_sorted =
+  QCheck.Test.make ~name:"min_heap: drain order is the sorted key order" ~count:200
+    QCheck.(list_of_size (Gen.int_bound 200) (triple (int_bound 50) (int_bound 50) (int_bound 50)))
+    (fun keys ->
+      let h = Min_heap.create ~dummy:(-1) () in
+      List.iteri (fun i (a, b, c) -> Min_heap.push h ~k0:a ~k1:b ~k2:c i) keys;
+      let rec drain acc =
+        match Min_heap.pop_min h with
+        | None -> List.rev acc
+        | Some (a, b, c, _) -> drain ((a, b, c) :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let prop_heap_interleaved_model =
+  (* alternate random pushes and pops against a sorted-list model; unique
+     keys via the insertion counter so the model's order is total *)
+  QCheck.Test.make ~name:"min_heap: interleaved push/pop matches a sorted-list model" ~count:100
+    QCheck.(list_of_size (Gen.int_bound 300) (pair (int_bound 100) bool))
+    (fun ops ->
+      let h = Min_heap.create ~capacity:1 ~dummy:(-1) () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun (t, is_pop) ->
+          if is_pop then
+            match (Min_heap.pop_min h, !model) with
+            | None, [] -> true
+            | Some (a, b, c, v), k :: rest ->
+                model := rest;
+                (a, b, c, v) = k
+            | _ -> false
+          else begin
+            incr counter;
+            Min_heap.push h ~k0:t ~k1:!counter ~k2:0 !counter;
+            model := List.sort compare ((t, !counter, 0, !counter) :: !model);
+            Min_heap.size h = List.length !model
+          end)
+        ops)
+
 (* ---- Rng ----------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -360,6 +420,12 @@ let () =
           qtest prop_bits_string_roundtrip;
           qtest prop_bits_int_roundtrip;
           qtest prop_bits_append_length;
+        ] );
+      ( "min-heap",
+        [
+          Alcotest.test_case "push/pop/clear" `Quick test_heap_basic;
+          qtest prop_heap_pop_sorted;
+          qtest prop_heap_interleaved_model;
         ] );
       ( "rng",
         [
